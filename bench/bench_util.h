@@ -1,0 +1,63 @@
+// Shared helpers for the benchmark binaries (one per paper table/figure).
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/replayer.h"
+#include "src/workload/record_campaigns.h"
+#include "src/workload/rpi3_testbed.h"
+
+namespace dlt {
+
+// A deployment machine with devices assigned to the TEE and a replayer loaded
+// with the given sealed package.
+struct Deployment {
+  std::unique_ptr<Rpi3Testbed> tb;
+  std::unique_ptr<Replayer> replayer;
+};
+
+inline Deployment MakeDeployment(const std::vector<uint8_t>& sealed) {
+  Deployment d;
+  TestbedOptions opts;
+  opts.secure_io = true;
+  opts.probe_drivers = false;
+  d.tb = std::make_unique<Rpi3Testbed>(opts);
+  d.replayer = std::make_unique<Replayer>(&d.tb->tee(), kDeveloperKey);
+  Status s = d.replayer->LoadPackage(sealed.data(), sealed.size());
+  if (!Ok(s)) {
+    std::fprintf(stderr, "package load failed: %s\n", StatusName(s));
+  }
+  return d;
+}
+
+// Records a campaign on a fresh developer machine and returns the sealed package.
+inline std::vector<uint8_t> BuildMmcPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordMmcCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildUsbPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordUsbCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildCameraPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordCameraCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace dlt
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Reproduces paper Figure 7: image capturing latency for the camera benchmarks
+// — per-frame latency of the driverlet vs the native (pipelined, IRQ-coalescing)
+// driver for bursts of 1/10/100 frames at 720p/1080p/1440p.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace dlt {
+namespace {
+
+struct Point {
+  double per_frame_s = 0;
+  bool ok = false;
+};
+
+Point RunDriverlet(const std::vector<uint8_t>& pkg, uint64_t frames, uint64_t res) {
+  Deployment d = MakeDeployment(pkg);
+  std::vector<uint8_t> buf(Vc4Firmware::FrameBytes(1440) + 4096);
+  std::vector<uint8_t> img_size(4);
+  ReplayArgs args;
+  args.scalars = {{"frame", frames}, {"resolution", res}, {"buf_size", buf.size()}};
+  args.buffers["buf"] = BufferView{buf.data(), buf.size()};
+  args.buffers["img_size"] = BufferView{img_size.data(), img_size.size()};
+  uint64_t t0 = d.tb->clock().now_us();
+  Result<ReplayStats> r = d.replayer->Invoke(kCameraEntry, args);
+  Point p;
+  p.ok = r.ok();
+  p.per_frame_s = static_cast<double>(d.tb->clock().now_us() - t0) / 1e6 /
+                  static_cast<double>(frames);
+  return p;
+}
+
+Point RunNative(uint64_t frames, uint64_t res) {
+  TestbedOptions opts;
+  opts.pipelined_camera = true;
+  Rpi3Testbed tb{opts};
+  std::vector<uint8_t> buf(Vc4Firmware::FrameBytes(1440) + 4096);
+  std::vector<uint8_t> img_size(4);
+  uint64_t t0 = tb.clock().now_us();
+  Status s = tb.cam_driver().Capture(TValue(frames), TValue(res), buf.data(), buf.size(),
+                                     TValue(buf.size()), img_size.data());
+  Point p;
+  p.ok = Ok(s);
+  p.per_frame_s =
+      static_cast<double>(tb.clock().now_us() - t0) / 1e6 / static_cast<double>(frames);
+  return p;
+}
+
+}  // namespace
+}  // namespace dlt
+
+int main() {
+  using namespace dlt;
+  std::printf("Figure 7: image capturing latency (seconds per frame)\n\n");
+  std::vector<uint8_t> pkg = BuildCameraPackage();
+  if (pkg.empty()) {
+    return 1;
+  }
+  std::printf("%-6s %-8s  %12s %12s %10s\n", "burst", "res", "driverlet", "native",
+              "dlt/native");
+  PrintRule(56);
+  for (uint64_t frames : {1ull, 10ull, 100ull}) {
+    for (uint64_t res : {720ull, 1080ull, 1440ull}) {
+      Point dlt = RunDriverlet(pkg, frames, res);
+      Point nat = RunNative(frames, res);
+      if (!dlt.ok || !nat.ok) {
+        std::printf("%-6llu %-8llu  (failed)\n", static_cast<unsigned long long>(frames),
+                    static_cast<unsigned long long>(res));
+        continue;
+      }
+      std::printf("%-6llu %4llup     %10.2fs %10.2fs %9.2fx\n",
+                  static_cast<unsigned long long>(frames),
+                  static_cast<unsigned long long>(res), dlt.per_frame_s, nat.per_frame_s,
+                  dlt.per_frame_s / nat.per_frame_s);
+    }
+    PrintRule(56);
+  }
+  std::printf(
+      "\nPaper reference: driverlet per-frame latency 2.1s (720p) to 3.6s (1440p) for\n"
+      "one-frame bursts, decreasing with burst length (fixed init cost amortizes);\n"
+      "native only 11%% faster for a 1-frame burst but 2.7x faster for 100 frames\n"
+      "(coalesced IRQs + pipelined capture vs per-event IRQ waits).\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces paper §7.3.4 (memory overhead): compressed driverlet package
+// sizes per device, in both the human-readable text form the paper ships and
+// the binary form it suggests as future size optimization (our ablation).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+void Report(const char* name, const dlt::RecordCampaign& campaign) {
+  using namespace dlt;
+  PackageSizes text_sizes;
+  PackageSizes bin_sizes;
+  (void)campaign.Seal(PackageFormat::kText, kDeveloperKey, &text_sizes);
+  (void)campaign.Seal(PackageFormat::kBinary, kDeveloperKey, &bin_sizes);
+  int events = 0;
+  for (const auto& t : campaign.templates()) {
+    events += t.CountEvents().total();
+  }
+  std::printf("%-8s %9zu %7d %12zu %12zu %12zu %12zu\n", name, campaign.templates().size(),
+              events, text_sizes.serialized, text_sizes.compressed, bin_sizes.serialized,
+              bin_sizes.compressed);
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlt;
+  std::printf("Memory overhead (paper 7.3.4): driverlet package sizes in bytes\n\n");
+  std::printf("%-8s %9s %7s %12s %12s %12s %12s\n", "device", "templates", "events",
+              "text-raw", "text-lzss", "bin-raw", "bin-lzss");
+  PrintRule(80);
+  {
+    Rpi3Testbed dev{TestbedOptions{}};
+    Result<RecordCampaign> c = RecordMmcCampaign(&dev);
+    if (c.ok()) {
+      Report("MMC", *c);
+    }
+  }
+  {
+    Rpi3Testbed dev{TestbedOptions{}};
+    Result<RecordCampaign> c = RecordUsbCampaign(&dev);
+    if (c.ok()) {
+      Report("USB", *c);
+    }
+  }
+  {
+    Rpi3Testbed dev{TestbedOptions{}};
+    Result<RecordCampaign> c = RecordCameraCampaign(&dev);
+    if (c.ok()) {
+      Report("VCHIQ", *c);
+    }
+  }
+  PrintRule(80);
+  std::printf(
+      "\nPaper reference: after compression the MMC, USB and VCHIQ driverlets are\n"
+      "6 KB, 26 KB and 19 KB; \"further converting them to binary form is likely to\n"
+      "reduce their sizes\" — the bin-lzss column quantifies that reduction.\n");
+  return 0;
+}

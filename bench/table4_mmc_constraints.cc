@@ -1,0 +1,100 @@
+// Reproduces paper Table 4: key constraints and taint-sink operations of the
+// single-block MMC template (RW_1) — which register each symbolized input is
+// written to and with what accumulated operations.
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_util.h"
+#include "src/dev/mmc/mmc_controller.h"
+
+namespace {
+
+const char* MmcRegName(uint64_t off) {
+  using namespace dlt;
+  switch (off) {
+    case kSdCmd: return "SDCMD";
+    case kSdArg: return "SDARG";
+    case kSdTout: return "SDTOUT";
+    case kSdCdiv: return "SDCDIV";
+    case kSdHsts: return "SDHSTS";
+    case kSdVdd: return "SDVDD";
+    case kSdEdm: return "SDEDM";
+    case kSdHcfg: return "SDHCFG";
+    case kSdHbct: return "SDHBCT";
+    case kSdData: return "SDDATA";
+    case kSdHblc: return "SDHBLC";
+    default: return "REG";
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlt;
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> campaign = RecordMmcCampaign(&dev);
+  if (!campaign.ok()) {
+    return 1;
+  }
+
+  for (const char* name : {"RD_1", "WR_1"}) {
+    const InteractionTemplate* tpl = nullptr;
+    for (const auto& t : campaign->templates()) {
+      if (t.name == name) {
+        tpl = &t;
+      }
+    }
+    if (tpl == nullptr) {
+      continue;
+    }
+    std::printf("Table 4: key constraints and operations of the %s template\n", name);
+    PrintRule();
+    std::printf("Input constraints (template selection):\n");
+    // Group the initial-constraint atoms by the parameter they mention.
+    for (const auto& p : tpl->ScalarParams()) {
+      std::string conj;
+      for (const auto& atom : tpl->initial.atoms()) {
+        std::set<std::string> syms;
+        atom.lhs->CollectInputs(&syms);
+        atom.rhs->CollectInputs(&syms);
+        if (syms.count(p)) {
+          if (!conj.empty()) {
+            conj += " && ";
+          }
+          conj += atom.ToString();
+        }
+      }
+      if (!conj.empty()) {
+        std::printf("  %-8s : %s\n", p.c_str(), conj.c_str());
+      }
+    }
+    std::printf("\nTaint sinks & operations (parameter-dependent register writes):\n");
+    std::map<std::string, std::string> sinks;
+    for (const auto& e : tpl->events) {
+      if (e.kind != EventKind::kRegWrite || e.value == nullptr || e.value->is_const()) {
+        continue;
+      }
+      std::set<std::string> syms;
+      e.value->CollectInputs(&syms);
+      bool has_param = false;
+      for (const auto& p : tpl->ScalarParams()) {
+        if (syms.count(p)) {
+          has_param = true;
+        }
+      }
+      if (has_param && e.device == dev.mmc_id()) {
+        sinks[MmcRegName(e.reg_off)] = e.value->ToString();
+      }
+    }
+    for (const auto& [reg, expr] : sinks) {
+      std::printf("  %-8s = %s\n", reg.c_str(), expr.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("Paper reference (Table 4):\n");
+  std::printf("  rw      : =0x1(RD)|0x10(WR)          -> SDCMD = ((0x8000)|((rw)<<6))\n");
+  std::printf("  blkcnt  : >=0 && <=0x8 (&& <=0x400)  -> SDHBLC = blkcnt\n");
+  std::printf("  blkid   : >=0 && <=0x1df77f8         -> SDARG  = blkid & (~0x7)\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Reproduces paper Tables 7 and 8 (developer-effort inventories) to the extent
+// they are measurable from artifacts: Table 7 counts the device knowledge a
+// from-scratch driver needs (commands, transition paths, registers/fields,
+// descriptors/fields) — we compute these from the recorded templates, which
+// externalize exactly that knowledge. Table 8 (porting surface) is inherently
+// about the Linux source tree; we print the paper's numbers for reference and
+// our replayer-vs-gold-driver code-size contrast, which is the comparison the
+// driverlet approach wins (§7.1).
+#include <cstdio>
+#include <set>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+struct Inventory {
+  std::set<uint64_t> commands;      // command opcodes observed at the device
+  std::set<uint64_t> registers;     // distinct register offsets touched
+  std::set<std::string> desc_fields;  // distinct shared-memory field addresses
+  size_t paths = 0;                 // externalized transition paths (#templates)
+};
+
+// Command extraction is per-device: MMC commands are the low 6 bits of SDCMD
+// writes; USB commands are SCSI opcodes in CBW byte 15; VCHIQ commands are
+// message/MMAL types in headers and payload word 0.
+Inventory Inspect(const dlt::RecordCampaign& campaign, const char* kind) {
+  using namespace dlt;
+  Inventory inv;
+  inv.paths = campaign.templates().size();
+  for (const auto& t : campaign.templates()) {
+    for (const auto& e : t.events) {
+      switch (e.kind) {
+        case EventKind::kRegWrite:
+        case EventKind::kRegRead:
+        case EventKind::kPollReg:
+        case EventKind::kPioIn:
+        case EventKind::kPioOut:
+          inv.registers.insert((static_cast<uint64_t>(e.device) << 32) | e.reg_off);
+          if (std::string(kind) == "MMC" && e.kind == EventKind::kRegWrite && e.reg_off == 0x00) {
+            if (e.value != nullptr && e.value->is_const()) {
+              inv.commands.insert(e.value->constant() & 0x3f);
+            } else if (e.value != nullptr) {
+              // Symbolic command word: extract the constant index bits.
+              Bindings b{{"rw", 1}};
+              Result<uint64_t> v = e.value->Eval(b);
+              if (v.ok()) {
+                inv.commands.insert(*v & 0x3f);
+              }
+            }
+          }
+          break;
+        case EventKind::kShmWrite:
+        case EventKind::kShmRead:
+        case EventKind::kPollShm:
+          if (e.addr != nullptr) {
+            inv.desc_fields.insert(e.addr->ToString());
+          }
+          if (std::string(kind) == "USB" && e.kind == EventKind::kShmWrite &&
+              e.value != nullptr && e.value->is_const()) {
+            uint64_t op = (e.value->constant() >> 24) & 0xff;
+            if (op == 0x28 || op == 0x2a || op == 0x12 || op == 0x25 || op == 0x00) {
+              inv.commands.insert(op);
+            }
+          }
+          if (std::string(kind) == "VCHIQ" && e.kind == EventKind::kShmWrite &&
+              e.value != nullptr && e.value->is_const()) {
+            uint64_t v = e.value->constant();
+            if ((v >> 24) != 0 && (v >> 24) <= 7 && (v & 0xffffff) == 0) {
+              inv.commands.insert(v >> 24);  // VCHIQ message type
+            } else if (v >= 1 && v <= 6) {
+              inv.commands.insert(0x100 | v);  // MMAL message type
+            }
+          }
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dlt;
+  std::printf("Table 7: device knowledge needed to build each driver from scratch,\n");
+  std::printf("measured from the recorded interaction templates (which externalize it)\n\n");
+  std::printf("%-8s %6s %12s %12s %12s\n", "", "CMDs", "Trans.Paths", "Registers", "Desc.Fields");
+  PrintRule(60);
+
+  struct Row {
+    const char* name;
+    Inventory inv;
+  };
+  std::vector<Row> rows;
+  {
+    Rpi3Testbed dev{TestbedOptions{}};
+    Result<RecordCampaign> c = RecordMmcCampaign(&dev);
+    if (c.ok()) {
+      rows.push_back({"MMC", Inspect(*c, "MMC")});
+    }
+  }
+  {
+    Rpi3Testbed dev{TestbedOptions{}};
+    Result<RecordCampaign> c = RecordUsbCampaign(&dev);
+    if (c.ok()) {
+      rows.push_back({"USB", Inspect(*c, "USB")});
+    }
+  }
+  {
+    Rpi3Testbed dev{TestbedOptions{}};
+    Result<RecordCampaign> c = RecordCameraCampaign(&dev);
+    if (c.ok()) {
+      rows.push_back({"VCHIQ", Inspect(*c, "VCHIQ")});
+    }
+  }
+  for (const auto& r : rows) {
+    std::printf("%-8s %6zu %12zu %12zu %12zu\n", r.name, r.inv.commands.size(), r.inv.paths,
+                r.inv.registers.size(), r.inv.desc_fields.size());
+  }
+  PrintRule(60);
+  std::printf("Paper Table 7: MMC 5 cmds/10 paths/17 regs(63 fields)/1 desc(8 fields);\n");
+  std::printf("              USB 4/10/14(100)/4(32); VCHIQ 8/9/3(3)/10(104).\n");
+  std::printf("(Descriptor fields here count distinct symbolic shared-memory addresses;\n");
+  std::printf(" long-burst camera templates repeat per-frame fields, inflating the count.)\n");
+
+  std::printf("\nTable 8 (porting surface of the full Linux drivers, from the paper):\n");
+  std::printf("%-8s %10s %10s %8s %10s %6s\n", "", "Functions", "Dev.Conf.", "Macros",
+              "Callbacks", "SLoC");
+  PrintRule(60);
+  std::printf("%-8s %10d %10d %8d %10d %6s\n", "MMC", 22, 11, 90, 79, "1K");
+  std::printf("%-8s %10d %10d %8d %10d %6s\n", "USB", 58, 14, 427, 142, "3K");
+  std::printf("%-8s %10d %10d %8d %10d %6s\n", "VCHIQ", 137, 9, 405, 159, "11K");
+  PrintRule(60);
+  std::printf(
+      "\nThe driverlet contrast (paper §7.1): the replayer is ~1 KSLoC of TEE code and\n"
+      "each driverlet is a data artifact (see bench/memory_overhead); the recorder\n"
+      "and replayer are a one-time effort, each driverlet takes 1-3 days.\n");
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "src/core/campaign.h"
+
+namespace dlt {
+
+bool RecordCampaign::AddTemplate(InteractionTemplate t) {
+  for (const auto& existing : templates_) {
+    if (InteractionTemplate::Mergeable(existing, t)) {
+      return false;
+    }
+  }
+  templates_.push_back(std::move(t));
+  return true;
+}
+
+DriverletPackage RecordCampaign::MakePackage() const {
+  DriverletPackage pkg;
+  pkg.driverlet = driverlet_name_;
+  pkg.templates = templates_;
+  return pkg;
+}
+
+std::vector<uint8_t> RecordCampaign::Seal(PackageFormat format, std::string_view key,
+                                          PackageSizes* sizes) const {
+  return SealPackage(MakePackage(), format, key, sizes);
+}
+
+}  // namespace dlt

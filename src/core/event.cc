@@ -1,0 +1,107 @@
+#include "src/core/event.h"
+
+namespace dlt {
+
+EventClass ClassOf(EventKind k) {
+  switch (k) {
+    case EventKind::kRegRead:
+    case EventKind::kShmRead:
+    case EventKind::kDmaAlloc:
+    case EventKind::kGetRandBytes:
+    case EventKind::kGetTimestamp:
+    case EventKind::kWaitIrq:
+    case EventKind::kCopyFromDma:
+    case EventKind::kPioIn:
+      return EventClass::kInput;
+    case EventKind::kRegWrite:
+    case EventKind::kShmWrite:
+    case EventKind::kDelay:
+    case EventKind::kCopyToDma:
+    case EventKind::kPioOut:
+      return EventClass::kOutput;
+    case EventKind::kPollReg:
+    case EventKind::kPollShm:
+      return EventClass::kMeta;
+  }
+  return EventClass::kMeta;
+}
+
+const char* EventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::kRegRead: return "reg_read";
+    case EventKind::kShmRead: return "shm_read";
+    case EventKind::kDmaAlloc: return "dma_alloc";
+    case EventKind::kGetRandBytes: return "get_rand_bytes";
+    case EventKind::kGetTimestamp: return "get_ts";
+    case EventKind::kWaitIrq: return "wait_for_irq";
+    case EventKind::kCopyFromDma: return "copy_from_dma";
+    case EventKind::kPioIn: return "pio_in";
+    case EventKind::kRegWrite: return "reg_write";
+    case EventKind::kShmWrite: return "shm_write";
+    case EventKind::kDelay: return "delay";
+    case EventKind::kCopyToDma: return "copy_to_dma";
+    case EventKind::kPioOut: return "pio_out";
+    case EventKind::kPollReg: return "poll_reg";
+    case EventKind::kPollShm: return "poll_shm";
+  }
+  return "?";
+}
+
+Result<EventKind> EventKindFromName(std::string_view name) {
+  static constexpr EventKind kAll[] = {
+      EventKind::kRegRead,     EventKind::kShmRead,   EventKind::kDmaAlloc,
+      EventKind::kGetRandBytes, EventKind::kGetTimestamp, EventKind::kWaitIrq,
+      EventKind::kCopyFromDma, EventKind::kPioIn,     EventKind::kRegWrite,
+      EventKind::kShmWrite,    EventKind::kDelay,     EventKind::kCopyToDma,
+      EventKind::kPioOut,      EventKind::kPollReg,   EventKind::kPollShm,
+  };
+  for (EventKind k : kAll) {
+    if (name == EventKindName(k)) {
+      return k;
+    }
+  }
+  return Status::kCorrupt;
+}
+
+namespace {
+
+bool ExprSame(const ExprRef& a, const ExprRef& b) {
+  if (a == nullptr && b == nullptr) {
+    return true;
+  }
+  return Expr::Equal(a, b);
+}
+
+}  // namespace
+
+bool SameStateTransition(const TemplateEvent& a, const TemplateEvent& b) {
+  if (a.kind != b.kind || a.device != b.device || a.reg_off != b.reg_off ||
+      a.irq_line != b.irq_line || a.mask != b.mask || a.want != b.want ||
+      a.poll_cmp != b.poll_cmp || a.state_changing != b.state_changing ||
+      a.buffer != b.buffer) {
+    return false;
+  }
+  if (!ExprSame(a.addr, b.addr) || !ExprSame(a.value, b.value) ||
+      !ExprSame(a.buf_offset, b.buf_offset)) {
+    return false;
+  }
+  if (a.constraint.ToString() != b.constraint.ToString()) {
+    return false;
+  }
+  return SameStateTransition(a.body, b.body);
+}
+
+bool SameStateTransition(const std::vector<TemplateEvent>& a,
+                         const std::vector<TemplateEvent>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!SameStateTransition(a[i], b[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dlt

@@ -1,0 +1,265 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "src/soc/log.h"
+
+namespace dlt {
+
+namespace {
+// Interpreter cost per event; charged through the context's timing hook.
+constexpr uint64_t kPerEventNs = 800;
+}  // namespace
+
+std::string DescribeEvent(const TemplateEvent& e) {
+  std::ostringstream os;
+  os << EventKindName(e.kind);
+  switch (e.kind) {
+    case EventKind::kRegRead:
+    case EventKind::kRegWrite:
+    case EventKind::kPollReg:
+    case EventKind::kPioIn:
+    case EventKind::kPioOut:
+      os << " dev" << e.device << "+0x" << std::hex << e.reg_off << std::dec;
+      break;
+    case EventKind::kWaitIrq:
+      os << " irq" << e.irq_line;
+      break;
+    default:
+      if (e.addr != nullptr) {
+        os << " " << e.addr->ToString();
+      }
+      break;
+  }
+  if (!e.file.empty()) {
+    os << " @" << e.file << ":" << e.line;
+  }
+  return os.str();
+}
+
+Executor::Executor(ReplayContext* ctx, const InteractionTemplate* tpl, const ReplayArgs* args)
+    : ctx_(ctx), tpl_(tpl), args_(args) {
+  for (const auto& [name, value] : args->scalars) {
+    bindings_[name] = value;
+  }
+}
+
+Result<uint64_t> Executor::EvalExpr(const ExprRef& e) const {
+  if (e == nullptr) {
+    return Status::kCorrupt;
+  }
+  Result<uint64_t> r = e->Eval(bindings_);
+  if (!r.ok()) {
+    return Status::kCorrupt;  // template references a symbol that never bound
+  }
+  return r;
+}
+
+Result<PhysAddr> Executor::EvalAddr(const ExprRef& e, size_t access_len) const {
+  DLT_ASSIGN_OR_RETURN(uint64_t addr, EvalExpr(e));
+  // Security hardening: symbolic addresses must land inside this run's own
+  // allocations AND inside the TEE pool (pervasive boundary checks, paper §5).
+  bool inside = false;
+  for (const auto& a : allocs_) {
+    if (addr >= a.base && addr + access_len <= a.base + a.size) {
+      inside = true;
+      break;
+    }
+  }
+  if (!inside || !ctx_->AddressAllowed(addr, access_len)) {
+    return Status::kPermissionDenied;
+  }
+  return addr;
+}
+
+void Executor::FillDivergence(const TemplateEvent& e, size_t index, uint64_t observed,
+                              DivergenceReport* report) const {
+  report->valid = true;
+  report->template_name = tpl_->name;
+  report->event_index = index;
+  report->event_desc = DescribeEvent(e);
+  report->file = e.file;
+  report->line = e.line;
+  report->observed = observed;
+  report->expected_constraint = e.constraint.ToString();
+  report->rewound.clear();
+  for (size_t i = 0; i <= index && i < tpl_->events.size(); ++i) {
+    report->rewound.push_back(DescribeEvent(tpl_->events[i]));
+  }
+}
+
+Status Executor::BindAndCheck(const TemplateEvent& e, size_t index, uint64_t observed,
+                              DivergenceReport* report) {
+  if (!e.bind.empty()) {
+    bindings_[e.bind] = observed;
+  }
+  return CheckConstraint(e, index, observed, report);
+}
+
+Status Executor::CheckConstraint(const TemplateEvent& e, size_t index, uint64_t observed,
+                                 DivergenceReport* report) {
+  if (e.constraint.empty()) {
+    return Status::kOk;
+  }
+  Result<bool> ok = e.constraint.Eval(bindings_);
+  if (!ok.ok()) {
+    return Status::kCorrupt;
+  }
+  if (!*ok) {
+    // A state-changing input deviated from the recording: device state
+    // transition divergence (paper §3.3).
+    FillDivergence(e, index, observed, report);
+    return Status::kDiverged;
+  }
+  return Status::kOk;
+}
+
+Result<BufferView> Executor::ResolveBuffer(const TemplateEvent& e, uint64_t* offset,
+                                           uint64_t* len) const {
+  auto it = args_->buffers.find(e.buffer);
+  if (it == args_->buffers.end() || it->second.data == nullptr) {
+    return Status::kInvalidArg;
+  }
+  DLT_ASSIGN_OR_RETURN(*offset, EvalExpr(e.buf_offset));
+  DLT_ASSIGN_OR_RETURN(*len, EvalExpr(e.value));
+  // Boundary check trustlet-provided buffers (paper §5 security hardening).
+  if (*offset + *len < *offset || *offset + *len > it->second.len) {
+    return Status::kInvalidArg;
+  }
+  return it->second;
+}
+
+Status Executor::RunOne(const TemplateEvent& e, size_t index, DivergenceReport* report) {
+  ctx_->ChargeReplayOverheadNs(kPerEventNs);
+  ++events_executed_;
+  switch (e.kind) {
+    case EventKind::kRegRead: {
+      DLT_ASSIGN_OR_RETURN(uint32_t v, ctx_->RegRead32(e.device, e.reg_off));
+      return BindAndCheck(e, index, v, report);
+    }
+    case EventKind::kShmRead: {
+      DLT_ASSIGN_OR_RETURN(PhysAddr addr, EvalAddr(e.addr, 4));
+      DLT_ASSIGN_OR_RETURN(uint32_t v, ctx_->MemRead32(addr));
+      return BindAndCheck(e, index, v, report);
+    }
+    case EventKind::kDmaAlloc: {
+      DLT_ASSIGN_OR_RETURN(uint64_t size, EvalExpr(e.value));
+      Result<PhysAddr> addr = ctx_->DmaAlloc(size);
+      if (!addr.ok()) {
+        FillDivergence(e, index, 0, report);
+        return Status::kDiverged;  // allocation failure diverges from recording
+      }
+      allocs_.push_back(Alloc{*addr, size});
+      return BindAndCheck(e, index, *addr, report);
+    }
+    case EventKind::kGetRandBytes: {
+      DLT_ASSIGN_OR_RETURN(uint32_t v, ctx_->RandomU32());
+      return BindAndCheck(e, index, v, report);
+    }
+    case EventKind::kGetTimestamp: {
+      uint64_t v = ctx_->TimestampUs();
+      return BindAndCheck(e, index, v, report);
+    }
+    case EventKind::kWaitIrq: {
+      Status s = ctx_->WaitForIrq(e.irq_line, e.timeout_us == 0 ? 1'000'000 : e.timeout_us);
+      if (!Ok(s)) {
+        FillDivergence(e, index, 0, report);
+        return Status::kDiverged;
+      }
+      return Status::kOk;
+    }
+    case EventKind::kCopyFromDma: {
+      uint64_t off = 0;
+      uint64_t len = 0;
+      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      DLT_ASSIGN_OR_RETURN(PhysAddr src, EvalAddr(e.addr, len));
+      return ctx_->MemCopyOut(buf.data + off, src, len);
+    }
+    case EventKind::kPioIn: {
+      uint64_t off = 0;
+      uint64_t len = 0;
+      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      for (uint64_t done = 0; done < len; done += 4) {
+        DLT_ASSIGN_OR_RETURN(uint32_t w, ctx_->RegRead32(e.device, e.reg_off));
+        size_t take = static_cast<size_t>(std::min<uint64_t>(4, len - done));
+        std::memcpy(buf.data + off + done, &w, take);
+      }
+      return Status::kOk;
+    }
+    case EventKind::kRegWrite: {
+      DLT_ASSIGN_OR_RETURN(uint64_t v, EvalExpr(e.value));
+      return ctx_->RegWrite32(e.device, e.reg_off, static_cast<uint32_t>(v));
+    }
+    case EventKind::kShmWrite: {
+      DLT_ASSIGN_OR_RETURN(PhysAddr addr, EvalAddr(e.addr, 4));
+      DLT_ASSIGN_OR_RETURN(uint64_t v, EvalExpr(e.value));
+      return ctx_->MemWrite32(addr, static_cast<uint32_t>(v));
+    }
+    case EventKind::kDelay: {
+      DLT_ASSIGN_OR_RETURN(uint64_t us, EvalExpr(e.value));
+      ctx_->DelayUs(us);
+      return Status::kOk;
+    }
+    case EventKind::kCopyToDma: {
+      uint64_t off = 0;
+      uint64_t len = 0;
+      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      DLT_ASSIGN_OR_RETURN(PhysAddr dst, EvalAddr(e.addr, len));
+      return ctx_->MemCopyIn(dst, buf.data + off, len);
+    }
+    case EventKind::kPioOut: {
+      uint64_t off = 0;
+      uint64_t len = 0;
+      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      for (uint64_t done = 0; done < len; done += 4) {
+        uint32_t w = 0;
+        size_t take = static_cast<size_t>(std::min<uint64_t>(4, len - done));
+        std::memcpy(&w, buf.data + off + done, take);
+        DLT_RETURN_IF_ERROR(ctx_->RegWrite32(e.device, e.reg_off, w));
+      }
+      return Status::kOk;
+    }
+    case EventKind::kPollReg:
+    case EventKind::kPollShm: {
+      uint64_t timeout = e.timeout_us == 0 ? 1'000'000 : e.timeout_us;
+      uint64_t waited = 0;
+      while (true) {
+        uint32_t v = 0;
+        if (e.kind == EventKind::kPollReg) {
+          DLT_ASSIGN_OR_RETURN(v, ctx_->RegRead32(e.device, e.reg_off));
+        } else {
+          DLT_ASSIGN_OR_RETURN(PhysAddr addr, EvalAddr(e.addr, 4));
+          DLT_ASSIGN_OR_RETURN(v, ctx_->MemRead32(addr));
+        }
+        if (CompareValues(e.poll_cmp, v & e.mask, e.want)) {
+          if (!e.bind.empty()) {
+            bindings_[e.bind] = v;
+          }
+          return Status::kOk;
+        }
+        if (waited >= timeout) {
+          FillDivergence(e, index, v, report);
+          return Status::kDiverged;
+        }
+        DLT_RETURN_IF_ERROR(RunEvents(e.body, report));
+        uint64_t step = e.interval_us == 0 ? 1 : e.interval_us;
+        ctx_->DelayUs(step);
+        waited += step;
+      }
+    }
+  }
+  return Status::kUnsupported;
+}
+
+Status Executor::RunEvents(const std::vector<TemplateEvent>& events, DivergenceReport* report) {
+  for (size_t i = 0; i < events.size(); ++i) {
+    DLT_RETURN_IF_ERROR(RunOne(events[i], i, report));
+  }
+  return Status::kOk;
+}
+
+Status Executor::Run(DivergenceReport* report) { return RunEvents(tpl_->events, report); }
+
+}  // namespace dlt

@@ -1,0 +1,57 @@
+// Single-threaded, transactional event executor (paper §5, "Executing events").
+// Executes one instantiated template against a ReplayContext. On the happy path
+// all state-changing input constraints hold; any violation is reported as a
+// divergence for the replayer to handle (soft reset + re-execution).
+#ifndef SRC_CORE_EXECUTOR_H_
+#define SRC_CORE_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/core/interaction_template.h"
+#include "src/core/replay_context.h"
+#include "src/core/replayer.h"
+
+namespace dlt {
+
+class Executor {
+ public:
+  Executor(ReplayContext* ctx, const InteractionTemplate* tpl, const ReplayArgs* args);
+
+  // Executes all events once. kDiverged / kTimeout fill the report.
+  Status Run(DivergenceReport* report);
+
+  size_t events_executed() const { return events_executed_; }
+
+ private:
+  Status RunEvents(const std::vector<TemplateEvent>& events, DivergenceReport* report);
+  Status RunOne(const TemplateEvent& e, size_t index, DivergenceReport* report);
+
+  Result<uint64_t> EvalExpr(const ExprRef& e) const;
+  Result<PhysAddr> EvalAddr(const ExprRef& e, size_t access_len) const;
+  Status CheckConstraint(const TemplateEvent& e, size_t index, uint64_t observed,
+                         DivergenceReport* report);
+  Status BindAndCheck(const TemplateEvent& e, size_t index, uint64_t observed,
+                      DivergenceReport* report);
+  void FillDivergence(const TemplateEvent& e, size_t index, uint64_t observed,
+                      DivergenceReport* report) const;
+  Result<BufferView> ResolveBuffer(const TemplateEvent& e, uint64_t* offset, uint64_t* len) const;
+
+  ReplayContext* ctx_;
+  const InteractionTemplate* tpl_;
+  const ReplayArgs* args_;
+  Bindings bindings_;
+  // Allocations made during this run, for symbolic-address bounds checking.
+  struct Alloc {
+    PhysAddr base;
+    uint64_t size;
+  };
+  std::vector<Alloc> allocs_;
+  size_t events_executed_ = 0;
+};
+
+// Renders an event for reports: "reg_write mmc+0x34 @bcm_sdhost.cc:210".
+std::string DescribeEvent(const TemplateEvent& e);
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_EXECUTOR_H_

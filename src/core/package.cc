@@ -1,0 +1,95 @@
+#include "src/core/package.h"
+
+#include <cstring>
+
+#include "src/core/serialize_binary.h"
+#include "src/core/serialize_text.h"
+#include "src/crypto/hmac.h"
+#include "src/crypto/lzss.h"
+
+namespace dlt {
+
+namespace {
+constexpr char kMagic[8] = {'D', 'L', 'T', 'P', 'K', 'G', '0', '1'};
+}  // namespace
+
+// GCC 12 reports a spurious -Wstringop-overflow deep inside std::vector growth
+// for the byte-appends below; the accesses are fully bounded.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wstringop-overflow"
+
+std::vector<uint8_t> SealPackage(const DriverletPackage& pkg, PackageFormat format,
+                                 std::string_view key, PackageSizes* sizes) {
+  std::vector<uint8_t> serialized;
+  if (format == PackageFormat::kText) {
+    std::string text = TemplatesToText(pkg.templates);
+    const uint8_t* begin = reinterpret_cast<const uint8_t*>(text.data());
+    serialized.insert(serialized.end(), begin, begin + text.size());
+  } else {
+    serialized = TemplatesToBinary(pkg.templates);
+  }
+  std::vector<uint8_t> compressed = LzssCompress(serialized.data(), serialized.size());
+
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  out.push_back(static_cast<uint8_t>(format));
+  out.push_back(static_cast<uint8_t>(pkg.driverlet.size()));
+  out.insert(out.end(), pkg.driverlet.begin(), pkg.driverlet.end());
+  uint32_t payload_len = static_cast<uint32_t>(compressed.size());
+  size_t len_at = out.size();
+  out.resize(out.size() + 4);
+  std::memcpy(out.data() + len_at, &payload_len, 4);
+  out.insert(out.end(), compressed.begin(), compressed.end());
+  Sha256::Digest mac = HmacSha256(key, out.data(), out.size());
+  out.insert(out.end(), mac.begin(), mac.end());
+
+  if (sizes != nullptr) {
+    sizes->serialized = serialized.size();
+    sizes->compressed = compressed.size();
+    sizes->sealed = out.size();
+  }
+  return out;
+}
+
+#pragma GCC diagnostic pop
+
+Result<DriverletPackage> OpenPackage(const uint8_t* data, size_t len, std::string_view key) {
+  constexpr size_t kMinLen = sizeof(kMagic) + 2 + 4 + Sha256::kDigestSize;
+  if (len < kMinLen || std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return Status::kCorrupt;
+  }
+  size_t body_len = len - Sha256::kDigestSize;
+  Sha256::Digest mac;
+  std::memcpy(mac.data(), data + body_len, Sha256::kDigestSize);
+  if (!HmacVerify(key, data, body_len, mac)) {
+    return Status::kCorrupt;
+  }
+  size_t pos = sizeof(kMagic);
+  uint8_t format_byte = data[pos++];
+  if (format_byte > static_cast<uint8_t>(PackageFormat::kBinary)) {
+    return Status::kCorrupt;
+  }
+  uint8_t name_len = data[pos++];
+  if (pos + name_len + 4 > body_len) {
+    return Status::kCorrupt;
+  }
+  DriverletPackage pkg;
+  pkg.driverlet.assign(reinterpret_cast<const char*>(data + pos), name_len);
+  pos += name_len;
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, data + pos, 4);
+  pos += 4;
+  if (pos + payload_len != body_len) {
+    return Status::kCorrupt;
+  }
+  DLT_ASSIGN_OR_RETURN(std::vector<uint8_t> serialized, LzssDecompress(data + pos, payload_len));
+  if (format_byte == static_cast<uint8_t>(PackageFormat::kText)) {
+    std::string_view text(reinterpret_cast<const char*>(serialized.data()), serialized.size());
+    DLT_ASSIGN_OR_RETURN(pkg.templates, TemplatesFromText(text));
+  } else {
+    DLT_ASSIGN_OR_RETURN(pkg.templates, TemplatesFromBinary(serialized.data(), serialized.size()));
+  }
+  return pkg;
+}
+
+}  // namespace dlt

@@ -1,0 +1,40 @@
+// Driverlet packages: serialized interaction templates, LZSS-compressed and
+// HMAC-signed. The trustlet statically links the replayer plus a "compressed
+// package of interaction templates" (paper §5); the replayer verifies the
+// developer signature before use and decompresses inside the TEE.
+#ifndef SRC_CORE_PACKAGE_H_
+#define SRC_CORE_PACKAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/interaction_template.h"
+
+namespace dlt {
+
+enum class PackageFormat : uint8_t {
+  kText = 0,    // the recorder's human-readable documents (paper §7.3.4)
+  kBinary = 1,  // the paper's suggested binary form
+};
+
+struct DriverletPackage {
+  std::string driverlet;  // e.g. "mmc", "usb", "camera"
+  std::vector<InteractionTemplate> templates;
+};
+
+struct PackageSizes {
+  size_t serialized = 0;  // before compression
+  size_t compressed = 0;  // LZSS payload
+  size_t sealed = 0;      // full envelope incl. signature
+};
+
+// Serializes + compresses + signs. |key| is the developer signing key.
+std::vector<uint8_t> SealPackage(const DriverletPackage& pkg, PackageFormat format,
+                                 std::string_view key, PackageSizes* sizes = nullptr);
+
+// Verifies the signature, decompresses and parses. Any tampering yields kCorrupt.
+Result<DriverletPackage> OpenPackage(const uint8_t* data, size_t len, std::string_view key);
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_PACKAGE_H_

@@ -1,0 +1,52 @@
+// ReplayContext: what the replayer needs from its hosting TEE runtime (paper §5,
+// "Instantiating the template"): secure device register mappings, a contiguous
+// DMA pool, RNG, timestamps, IRQ waits, and a soft-reset hook. tee::SecureWorld
+// provides the production implementation; tests may substitute fakes.
+#ifndef SRC_CORE_REPLAY_CONTEXT_H_
+#define SRC_CORE_REPLAY_CONTEXT_H_
+
+#include <cstdint>
+
+#include "src/soc/status.h"
+#include "src/soc/types.h"
+
+namespace dlt {
+
+class ReplayContext {
+ public:
+  virtual ~ReplayContext() = default;
+
+  // Device registers, by the template's device id. The context enforces that
+  // the device is mapped into the TEE (TZASC) and the offset is in range.
+  virtual Result<uint32_t> RegRead32(uint16_t device, uint64_t offset) = 0;
+  virtual Status RegWrite32(uint16_t device, uint64_t offset, uint32_t value) = 0;
+
+  // DMA / shared memory (physical addresses within this context's pool).
+  virtual Result<uint32_t> MemRead32(PhysAddr addr) = 0;
+  virtual Status MemWrite32(PhysAddr addr, uint32_t value) = 0;
+  virtual Status MemCopyIn(PhysAddr dst, const uint8_t* src, size_t len) = 0;
+  virtual Status MemCopyOut(uint8_t* dst, PhysAddr src, size_t len) = 0;
+
+  // Env interface (paper: "likely supported by an existing TEE kernel").
+  virtual Result<PhysAddr> DmaAlloc(uint64_t size) = 0;
+  virtual void DmaReleaseAll() = 0;
+  virtual Result<uint32_t> RandomU32() = 0;
+  virtual uint64_t TimestampUs() = 0;
+
+  virtual Status WaitForIrq(int line, uint64_t timeout_us) = 0;
+  virtual void DelayUs(uint64_t us) = 0;
+
+  // Soft-resets the device to its post-init clean state (divergence recovery).
+  virtual Status SoftResetDevice(uint16_t device) = 0;
+
+  // Security hardening: pervasive boundary check on device physical addresses
+  // computed from symbolic expressions (paper §5, self security hardening).
+  virtual bool AddressAllowed(PhysAddr addr, size_t len) = 0;
+
+  // Timing-model hook: the interpreter charges its per-event CPU cost here.
+  virtual void ChargeReplayOverheadNs(uint64_t ns) = 0;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_REPLAY_CONTEXT_H_

@@ -1,0 +1,107 @@
+#include "src/core/replayer.h"
+
+#include "src/core/executor.h"
+#include "src/soc/log.h"
+
+namespace dlt {
+
+Replayer::Replayer(ReplayContext* ctx, std::string signing_key)
+    : ctx_(ctx), signing_key_(std::move(signing_key)) {}
+
+Status Replayer::LoadPackage(const uint8_t* data, size_t len) {
+  DLT_ASSIGN_OR_RETURN(DriverletPackage pkg, OpenPackage(data, len, signing_key_));
+  return LoadPackage(pkg);
+}
+
+Status Replayer::LoadPackage(const DriverletPackage& pkg) {
+  driverlet_name_ = pkg.driverlet;
+  templates_ = pkg.templates;
+  return Status::kOk;
+}
+
+Result<const InteractionTemplate*> Replayer::SelectTemplate(std::string_view entry,
+                                                            const ReplayArgs& args) const {
+  const InteractionTemplate* selected = nullptr;
+  for (const auto& t : templates_) {
+    if (t.entry != entry) {
+      continue;
+    }
+    Bindings bindings;
+    bool have_all = true;
+    for (const auto& p : t.params) {
+      if (p.is_buffer) {
+        continue;
+      }
+      auto it = args.scalars.find(p.name);
+      if (it == args.scalars.end()) {
+        have_all = false;
+        break;
+      }
+      bindings[p.name] = it->second;
+    }
+    if (!have_all) {
+      return Status::kInvalidArg;
+    }
+    Result<bool> ok = t.initial.Eval(bindings);
+    if (!ok.ok()) {
+      continue;  // constraint over non-initial symbols cannot gate selection
+    }
+    if (*ok) {
+      if (selected != nullptr) {
+        // By construction no two templates cover the same inputs (the recorder
+        // merges same-path templates, §4.3); tolerate but warn.
+        DLT_LOG(kWarn) << "template selection ambiguous: " << selected->name << " vs " << t.name;
+        continue;
+      }
+      selected = &t;
+    }
+  }
+  if (selected == nullptr) {
+    return Status::kNoTemplate;
+  }
+  return selected;
+}
+
+Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& args) {
+  Result<const InteractionTemplate*> sel = SelectTemplate(entry, args);
+  if (!sel.ok()) {
+    return sel.status();
+  }
+  const InteractionTemplate* tpl = *sel;
+
+  ReplayStats stats;
+  stats.template_name = tpl->name;
+  report_ = DivergenceReport{};
+
+  for (int attempt = 1; attempt <= max_attempts_; ++attempt) {
+    stats.attempts = attempt;
+    // Reset the device before executing each template and upon divergence —
+    // constrains the device state space exactly as a record run did (§3.3, §5).
+    if (reset_between_templates_ || attempt > 1) {
+      Status reset = ctx_->SoftResetDevice(tpl->primary_device);
+      if (!Ok(reset)) {
+        return reset;
+      }
+      ++stats.resets;
+      ++total_resets_;
+    }
+    ctx_->DmaReleaseAll();
+
+    Executor exec(ctx_, tpl, &args);
+    Status s = exec.Run(&report_);
+    stats.events_executed += exec.events_executed();
+    total_events_ += exec.events_executed();
+    if (Ok(s)) {
+      return stats;
+    }
+    if (s != Status::kDiverged && s != Status::kTimeout) {
+      return s;  // hard errors (bounds violation, corrupt template) do not retry
+    }
+    DLT_LOG(kInfo) << "replay divergence in " << tpl->name << " at event #" << report_.event_index
+                   << " (" << report_.event_desc << "), attempt " << attempt;
+  }
+  // Persistent divergence: give up and surface the rewound report (§5).
+  return Status::kAborted;
+}
+
+}  // namespace dlt

@@ -1,0 +1,97 @@
+// The in-TEE replayer (paper §5): verifies and loads a driverlet package,
+// selects an interaction template by constraint matching, instantiates it, and
+// executes its events with a transactional, single-threaded executor. Device
+// state divergence triggers soft reset + bounded re-execution; persistent
+// divergence aborts with a rewound event report.
+#ifndef SRC_CORE_REPLAYER_H_
+#define SRC_CORE_REPLAYER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/interaction_template.h"
+#include "src/core/package.h"
+#include "src/core/replay_context.h"
+
+namespace dlt {
+
+struct BufferView {
+  uint8_t* data = nullptr;
+  size_t len = 0;
+};
+
+struct ReplayArgs {
+  std::map<std::string, uint64_t> scalars;
+  std::map<std::string, BufferView> buffers;
+};
+
+struct ReplayStats {
+  std::string template_name;
+  int attempts = 0;
+  size_t events_executed = 0;
+  int resets = 0;
+};
+
+// Diagnostic produced when the executor gives up: the divergent event plus the
+// rewound prefix, each with its recording site (paper §5, §7.2 fault injection).
+struct DivergenceReport {
+  bool valid = false;
+  std::string template_name;
+  size_t event_index = 0;
+  std::string event_desc;
+  std::string file;
+  int line = 0;
+  uint64_t observed = 0;
+  std::string expected_constraint;
+  std::vector<std::string> rewound;  // "<kind> <iface> @file:line" oldest-first
+};
+
+class Replayer {
+ public:
+  // |signing_key| is the developer key packages must verify against.
+  Replayer(ReplayContext* ctx, std::string signing_key);
+
+  // Verifies the signature, decompresses and parses the package in-TEE.
+  Status LoadPackage(const uint8_t* data, size_t len);
+  Status LoadPackage(const DriverletPackage& pkg);  // pre-parsed (tests)
+
+  // Invokes the driverlet entry: selects the template whose initial constraints
+  // are satisfied by |args|, then executes it. kNoTemplate when the input is
+  // uncovered. kAborted after max_attempts divergences.
+  Result<ReplayStats> Invoke(std::string_view entry, const ReplayArgs& args);
+
+  const std::vector<InteractionTemplate>& templates() const { return templates_; }
+  const std::string& driverlet_name() const { return driverlet_name_; }
+  const DivergenceReport& last_report() const { return report_; }
+
+  int max_attempts() const { return max_attempts_; }
+  void set_max_attempts(int n) { max_attempts_ = n; }
+
+  // Ablation knob: skip the soft reset before first execution of a template
+  // (divergence recovery still resets). The paper's design always resets
+  // between templates (§5); disabling shows why — residue state diverges.
+  void set_reset_between_templates(bool v) { reset_between_templates_ = v; }
+
+  // Cumulative statistics.
+  uint64_t total_events_executed() const { return total_events_; }
+  uint64_t total_resets() const { return total_resets_; }
+
+ private:
+  Result<const InteractionTemplate*> SelectTemplate(std::string_view entry,
+                                                    const ReplayArgs& args) const;
+
+  ReplayContext* ctx_;
+  std::string signing_key_;
+  std::string driverlet_name_;
+  std::vector<InteractionTemplate> templates_;
+  DivergenceReport report_;
+  int max_attempts_ = 3;
+  bool reset_between_templates_ = true;
+  uint64_t total_events_ = 0;
+  uint64_t total_resets_ = 0;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_REPLAYER_H_

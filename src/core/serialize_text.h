@@ -1,0 +1,21 @@
+// Human-readable template serialization. The paper's recorder "emits templates
+// as human-readable documents" (§7.3.4); this is that format. A binary form
+// (serialize_binary.h) exists as the paper's suggested size optimization.
+#ifndef SRC_CORE_SERIALIZE_TEXT_H_
+#define SRC_CORE_SERIALIZE_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/interaction_template.h"
+
+namespace dlt {
+
+std::string TemplateToText(const InteractionTemplate& t);
+std::string TemplatesToText(const std::vector<InteractionTemplate>& templates);
+
+Result<std::vector<InteractionTemplate>> TemplatesFromText(std::string_view text);
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_SERIALIZE_TEXT_H_

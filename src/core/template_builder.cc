@@ -1,0 +1,235 @@
+#include "src/core/template_builder.h"
+
+#include <optional>
+
+#include "src/soc/log.h"
+
+namespace dlt {
+
+namespace {
+
+enum class SymClass { kParam, kDevice, kEnv };
+
+SymClass ClassifySymbol(const std::string& name, const std::vector<ParamSpec>& params) {
+  for (const auto& p : params) {
+    if (p.name == name) {
+      return SymClass::kParam;
+    }
+  }
+  if (name.rfind("din", 0) == 0) {
+    return SymClass::kDevice;
+  }
+  return SymClass::kEnv;
+}
+
+// Renders |e| with occurrences of Input(bind) replaced by "$" — used to compare
+// loop-iteration atoms that differ only in their iteration-local bind symbol.
+std::string RenderRenamed(const ExprRef& e, const std::string& bind) {
+  if (e == nullptr) {
+    return "<null>";
+  }
+  switch (e->op()) {
+    case ExprOp::kConst:
+      return e->ToString();
+    case ExprOp::kInput:
+      return e->input_name() == bind ? "$" : e->input_name();
+    case ExprOp::kNot:
+      return "(~" + RenderRenamed(e->lhs(), bind) + ")";
+    default:
+      return "(" + RenderRenamed(e->lhs(), bind) + " " + ExprOpToken(e->op()) + " " +
+             RenderRenamed(e->rhs(), bind) + ")";
+  }
+}
+
+// Matches atoms of the form  bind <cmp> C  or  (bind & M) <cmp> C.
+bool ExtractPollCond(const ConstraintAtom& atom, const std::string& bind, uint32_t* mask,
+                     uint32_t* want, Cmp* cmp) {
+  if (atom.rhs == nullptr || !atom.rhs->is_const()) {
+    return false;
+  }
+  const ExprRef& l = atom.lhs;
+  if (l == nullptr) {
+    return false;
+  }
+  uint64_t m = 0xffffffffull;
+  if (l->op() == ExprOp::kAnd) {
+    if (l->lhs() != nullptr && l->lhs()->is_input() && l->lhs()->input_name() == bind &&
+        l->rhs() != nullptr && l->rhs()->is_const()) {
+      m = l->rhs()->constant();
+    } else if (l->rhs() != nullptr && l->rhs()->is_input() && l->rhs()->input_name() == bind &&
+               l->lhs() != nullptr && l->lhs()->is_const()) {
+      m = l->lhs()->constant();
+    } else {
+      return false;
+    }
+  } else if (l->is_input() && l->input_name() == bind) {
+    m = 0xffffffffull;
+  } else {
+    return false;
+  }
+  *mask = static_cast<uint32_t>(m);
+  *want = static_cast<uint32_t>(atom.rhs->constant());
+  *cmp = atom.cmp;
+  return true;
+}
+
+struct PollUnit {
+  size_t start;         // index of the read event
+  size_t len;           // 1 (read) or 2 (read + delay)
+  std::string sig;      // structural signature excluding cmp polarity
+  uint32_t mask = 0;
+  uint32_t want = 0;
+  Cmp cmp = Cmp::kEq;  // this iteration's atom comparison
+  uint64_t delay_us = 0;
+  std::string bind;
+};
+
+// Tries to parse a poll unit starting at |i|. Returns nullopt when the event is
+// not a candidate (wrong kind, no single own-bind condition, ...).
+std::optional<PollUnit> ParseUnit(const std::vector<TemplateEvent>& events, size_t i) {
+  const TemplateEvent& e = events[i];
+  if (e.kind != EventKind::kShmRead && e.kind != EventKind::kRegRead) {
+    return std::nullopt;
+  }
+  if (e.constraint.atoms().size() != 1 || e.bind.empty()) {
+    return std::nullopt;
+  }
+  PollUnit u;
+  u.start = i;
+  u.len = 1;
+  u.bind = e.bind;
+  if (!ExtractPollCond(e.constraint.atoms()[0], e.bind, &u.mask, &u.want, &u.cmp)) {
+    return std::nullopt;
+  }
+  if (i + 1 < events.size() && events[i + 1].kind == EventKind::kDelay &&
+      events[i + 1].value != nullptr && events[i + 1].value->is_const()) {
+    u.len = 2;
+    u.delay_us = events[i + 1].value->constant();
+  }
+  std::string addr_sig = e.kind == EventKind::kShmRead
+                             ? RenderRenamed(e.addr, e.bind)
+                             : std::to_string(e.device) + "+" + std::to_string(e.reg_off);
+  u.sig = std::string(EventKindName(e.kind)) + "|" + addr_sig + "|" + std::to_string(u.mask) +
+          "|" + std::to_string(u.want);
+  return u;
+}
+
+}  // namespace
+
+int LiftPollingLoops(std::vector<TemplateEvent>* events) {
+  std::vector<TemplateEvent> out;
+  int lifted = 0;
+  size_t i = 0;
+  const std::vector<TemplateEvent>& in = *events;
+  while (i < in.size()) {
+    std::optional<PollUnit> first = ParseUnit(in, i);
+    if (!first.has_value()) {
+      out.push_back(in[i]);
+      ++i;
+      continue;
+    }
+    // Gather the maximal run of same-signature units.
+    std::vector<PollUnit> run{*first};
+    size_t j = i + first->len;
+    while (j < in.size()) {
+      std::optional<PollUnit> u = ParseUnit(in, j);
+      if (!u.has_value() || u->sig != first->sig) {
+        break;
+      }
+      run.push_back(*u);
+      j += u->len;
+      if (u->cmp == first->cmp) {
+        continue;  // still failing iterations
+      }
+      break;  // polarity flipped: terminal iteration reached
+    }
+    // A loop = >= 1 failing iteration followed by a terminal one whose atom is
+    // exactly the negation of the failing iterations'. Anything else is kept.
+    bool is_loop = run.size() >= 2;
+    if (is_loop) {
+      for (size_t k = 0; k + 1 < run.size(); ++k) {
+        if (run[k].cmp != NegateCmp(run.back().cmp)) {
+          is_loop = false;
+          break;
+        }
+      }
+    }
+    if (!is_loop) {
+      out.push_back(in[i]);
+      ++i;
+      continue;
+    }
+    const PollUnit& terminal = run.back();
+    const TemplateEvent& read0 = in[run.front().start];
+    TemplateEvent poll;
+    poll.kind = read0.kind == EventKind::kShmRead ? EventKind::kPollShm : EventKind::kPollReg;
+    poll.device = read0.device;
+    poll.reg_off = read0.reg_off;
+    poll.addr = read0.addr;
+    poll.bind = terminal.bind;  // the terminal value may feed later events
+    poll.mask = terminal.mask;
+    poll.want = terminal.want;
+    poll.poll_cmp = terminal.cmp;
+    poll.interval_us = run.front().delay_us;
+    poll.timeout_us = 1'000'000;
+    poll.recorded_iters = static_cast<uint32_t>(run.size());
+    poll.state_changing = true;
+    poll.file = read0.file;
+    poll.line = read0.line;
+    out.push_back(std::move(poll));
+    ++lifted;
+    i = terminal.start + 1;  // terminal iteration has no trailing delay consumed
+  }
+  *events = std::move(out);
+  return lifted;
+}
+
+Result<InteractionTemplate> BuildTemplate(RawRecording&& raw) {
+  InteractionTemplate t;
+  t.entry = std::move(raw.entry);
+  t.name = std::move(raw.name);
+  t.primary_device = raw.primary_device;
+  t.params = raw.params;
+
+  // Index events by bind symbol (bind -> last event index binding it).
+  // Binds are unique per recording, so a simple map suffices.
+  std::map<std::string, size_t> bind_event;
+  for (size_t i = 0; i < raw.events.size(); ++i) {
+    if (!raw.events[i].bind.empty()) {
+      bind_event[raw.events[i].bind] = i;
+    }
+  }
+
+  // Attach path conditions.
+  for (const PathCond& pc : raw.path_conds) {
+    std::set<std::string> syms;
+    pc.atom.lhs->CollectInputs(&syms);
+    pc.atom.rhs->CollectInputs(&syms);
+    std::optional<size_t> target;
+    for (const auto& s : syms) {
+      if (ClassifySymbol(s, raw.params) == SymClass::kParam) {
+        continue;
+      }
+      auto it = bind_event.find(s);
+      if (it == bind_event.end() || it->second >= pc.after_event) {
+        DLT_LOG(kWarn) << "path condition references unbound symbol " << s;
+        return Status::kBadState;
+      }
+      target = target.has_value() ? std::max(*target, it->second) : it->second;
+    }
+    if (!target.has_value()) {
+      // Conditions purely over entry parameters become selection constraints.
+      t.initial.AddAtom(pc.atom);
+      continue;
+    }
+    TemplateEvent& ev = raw.events[*target];
+    ev.constraint.AddAtom(pc.atom);
+    ev.state_changing = true;
+  }
+
+  LiftPollingLoops(&raw.events);
+  t.events = std::move(raw.events);
+  return t;
+}
+
+}  // namespace dlt

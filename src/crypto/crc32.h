@@ -1,0 +1,15 @@
+// CRC32 (IEEE 802.3 polynomial). Used by the USB mass-storage bus model for
+// per-packet checksums and by the binary template framing.
+#ifndef SRC_CRYPTO_CRC32_H_
+#define SRC_CRYPTO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlt {
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace dlt
+
+#endif  // SRC_CRYPTO_CRC32_H_

@@ -1,0 +1,43 @@
+#include "src/crypto/hmac.h"
+
+#include <array>
+#include <cstring>
+
+namespace dlt {
+
+Sha256::Digest HmacSha256(std::string_view key, const void* data, size_t len) {
+  constexpr size_t kBlock = 64;
+  std::array<uint8_t, kBlock> k{};
+  if (key.size() > kBlock) {
+    Sha256::Digest kd = Sha256::Hash(key.data(), key.size());
+    std::memcpy(k.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(k.data(), key.data(), key.size());
+  }
+  std::array<uint8_t, kBlock> ipad;
+  std::array<uint8_t, kBlock> opad;
+  for (size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<uint8_t>(k[i] ^ 0x5c);
+  }
+  Sha256 inner;
+  inner.Update(ipad.data(), ipad.size());
+  inner.Update(data, len);
+  Sha256::Digest inner_digest = inner.Finalize();
+  Sha256 outer;
+  outer.Update(opad.data(), opad.size());
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finalize();
+}
+
+bool HmacVerify(std::string_view key, const void* data, size_t len, const Sha256::Digest& mac) {
+  Sha256::Digest expect = HmacSha256(key, data, len);
+  // Constant-time compare.
+  uint8_t diff = 0;
+  for (size_t i = 0; i < expect.size(); ++i) {
+    diff = static_cast<uint8_t>(diff | (expect[i] ^ mac[i]));
+  }
+  return diff == 0;
+}
+
+}  // namespace dlt

@@ -1,0 +1,20 @@
+// HMAC-SHA256 (RFC 2104). The "developer signature" over interaction template
+// packages; see DESIGN.md (real deployments would use an asymmetric scheme, the
+// integrity/authentication role in the threat model is the same).
+#ifndef SRC_CRYPTO_HMAC_H_
+#define SRC_CRYPTO_HMAC_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/crypto/sha256.h"
+
+namespace dlt {
+
+Sha256::Digest HmacSha256(std::string_view key, const void* data, size_t len);
+
+bool HmacVerify(std::string_view key, const void* data, size_t len, const Sha256::Digest& mac);
+
+}  // namespace dlt
+
+#endif  // SRC_CRYPTO_HMAC_H_

@@ -1,0 +1,38 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. Used to sign interaction
+// template packages: "the recorder signs the templates which are thereafter
+// immutable" (paper §4); the replayer "verifies recording integrity by
+// developers' signatures prior to use" (paper §5).
+#ifndef SRC_CRYPTO_SHA256_H_
+#define SRC_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dlt {
+
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+  void Update(const void* data, size_t len);
+  Digest Finalize();
+
+  static Digest Hash(const void* data, size_t len);
+  static std::string HexDigest(const Digest& d);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffered_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_CRYPTO_SHA256_H_

@@ -1,0 +1,71 @@
+#include "src/dev/display/touch_controller.h"
+
+namespace dlt {
+
+uint32_t TouchController::MmioRead32(uint64_t offset) {
+  switch (offset) {
+    case kTouchCtrl:
+      return ctrl_;
+    case kTouchStatus:
+      return fifo_.empty() ? 0 : kTouchStatusPending;
+    case kTouchData: {
+      if (fifo_.empty()) {
+        return 0;
+      }
+      uint32_t v = fifo_.front();
+      fifo_.pop_front();
+      UpdateIrq();
+      return v;
+    }
+    case kTouchFifoLvl:
+      return static_cast<uint32_t>(fifo_.size());
+    default:
+      return 0;
+  }
+}
+
+void TouchController::MmioWrite32(uint64_t offset, uint32_t value) {
+  switch (offset) {
+    case kTouchCtrl:
+      ctrl_ = value;
+      break;
+    case kTouchStatus:
+      // W1C has no stored bit here (status is FIFO-derived); ack just re-evaluates.
+      (void)value;
+      UpdateIrq();
+      break;
+    default:
+      break;
+  }
+}
+
+void TouchController::InjectTouch(uint32_t x, uint32_t y, uint64_t delay_us) {
+  uint32_t sample = PackSample(x, y);
+  if (delay_us == 0) {
+    fifo_.push_back(sample);
+    UpdateIrq();
+    return;
+  }
+  clock_->ScheduleIn(delay_us, [this, sample] {
+    fifo_.push_back(sample);
+    UpdateIrq();
+  });
+}
+
+void TouchController::UpdateIrq() {
+  if ((ctrl_ & kTouchCtrlEnable) && !fifo_.empty()) {
+    irq_->Raise(irq_line_);
+  } else {
+    irq_->Clear(irq_line_);
+  }
+}
+
+void TouchController::SoftReset() {
+  // Clean slate for the controller configuration; queued user input survives
+  // (it is the "medium" here, like sectors on a card — a reset between
+  // templates must not drop the press the user already made).
+  ctrl_ = kTouchCtrlEnable;
+  UpdateIrq();
+}
+
+}  // namespace dlt

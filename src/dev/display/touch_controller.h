@@ -1,0 +1,57 @@
+// Touch input controller model — the input half of the paper's trusted-UI use
+// case: "the UI reads in user inputs such as key presses and touch. Both the
+// display controller and input devices are isolated in TEE" (§2.1, refs
+// [43, 54]). A resistive touch panel posts (x, y, press) samples into a small
+// FIFO and raises an interrupt.
+#ifndef SRC_DEV_DISPLAY_TOUCH_CONTROLLER_H_
+#define SRC_DEV_DISPLAY_TOUCH_CONTROLLER_H_
+
+#include <deque>
+
+#include "src/soc/device.h"
+#include "src/soc/irq.h"
+#include "src/soc/latency_model.h"
+#include "src/soc/sim_clock.h"
+
+namespace dlt {
+
+inline constexpr uint64_t kTouchCtrl = 0x00;    // bit0: enable
+inline constexpr uint64_t kTouchStatus = 0x04;  // bit0: sample pending (W1C)
+inline constexpr uint64_t kTouchData = 0x08;    // x | y<<12 | pressed<<31; read pops
+inline constexpr uint64_t kTouchFifoLvl = 0x0c; // samples queued (statistic input)
+
+inline constexpr uint32_t kTouchCtrlEnable = 0x1;
+inline constexpr uint32_t kTouchStatusPending = 0x1;
+
+class TouchController : public MmioDevice {
+ public:
+  TouchController(SimClock* clock, InterruptController* irq, int irq_line)
+      : clock_(clock), irq_(irq), irq_line_(irq_line) {}
+
+  std::string_view name() const override { return "touch"; }
+  uint32_t MmioRead32(uint64_t offset) override;
+  void MmioWrite32(uint64_t offset, uint32_t value) override;
+  void SoftReset() override;
+
+  int irq_line() const { return irq_line_; }
+
+  // Simulated user input: a press sample delivered after |delay_us|.
+  void InjectTouch(uint32_t x, uint32_t y, uint64_t delay_us = 0);
+
+  static uint32_t PackSample(uint32_t x, uint32_t y) {
+    return (x & 0xfff) | ((y & 0xfff) << 12) | 0x80000000u;
+  }
+
+ private:
+  void UpdateIrq();
+
+  SimClock* clock_;
+  InterruptController* irq_;
+  int irq_line_;
+  uint32_t ctrl_ = kTouchCtrlEnable;
+  std::deque<uint32_t> fifo_;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_DEV_DISPLAY_TOUCH_CONTROLLER_H_

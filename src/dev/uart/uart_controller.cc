@@ -1,0 +1,85 @@
+#include "src/dev/uart/uart_controller.h"
+
+namespace dlt {
+
+namespace {
+// 115200 baud, 10 bits per byte: ~87 us per byte on the wire.
+constexpr uint64_t kUsPerByte = 87;
+}  // namespace
+
+uint32_t UartController::MmioRead32(uint64_t offset) {
+  switch (offset) {
+    case kUartDr: {
+      if (rx_.empty()) {
+        return 0;
+      }
+      uint8_t b = rx_.front();
+      rx_.pop_front();
+      if (rx_.empty()) {
+        irq_->Clear(irq_line_);
+      }
+      return b;
+    }
+    case kUartFr: {
+      // Drain the transmit FIFO against the wire clock.
+      uint64_t now = clock_->now_us();
+      if (tx_in_flight_ > 0 && now >= tx_drain_at_us_) {
+        tx_in_flight_ = 0;
+      } else if (tx_in_flight_ > 0) {
+        uint64_t remaining_us = tx_drain_at_us_ - now;
+        tx_in_flight_ = static_cast<size_t>((remaining_us + kUsPerByte - 1) / kUsPerByte);
+      }
+      uint32_t fr = 0;
+      if (tx_in_flight_ >= kTxFifoDepth) {
+        fr |= kUartFrTxFull;
+      }
+      if (rx_.empty()) {
+        fr |= kUartFrRxEmpty;
+      }
+      return fr;
+    }
+    case kUartCr:
+      return cr_;
+    default:
+      return 0;
+  }
+}
+
+void UartController::MmioWrite32(uint64_t offset, uint32_t value) {
+  switch (offset) {
+    case kUartDr:
+      if (cr_ & kUartCrEnable) {
+        tx_log_.push_back(static_cast<char>(value & 0xff));
+        uint64_t now = clock_->now_us();
+        tx_drain_at_us_ = std::max(tx_drain_at_us_, now) + kUsPerByte;
+        ++tx_in_flight_;
+      }
+      break;
+    case kUartCr:
+      cr_ = value;
+      break;
+    default:
+      break;
+  }
+}
+
+void UartController::InjectRx(std::string_view data, uint64_t delay_us) {
+  std::string copy(data);
+  clock_->ScheduleIn(delay_us, [this, copy] {
+    for (char c : copy) {
+      rx_.push_back(static_cast<uint8_t>(c));
+    }
+    if (!rx_.empty()) {
+      irq_->Raise(irq_line_);
+    }
+  });
+}
+
+void UartController::SoftReset() {
+  cr_ = kUartCrEnable;
+  tx_in_flight_ = 0;
+  rx_.clear();
+  irq_->Clear(irq_line_);
+}
+
+}  // namespace dlt

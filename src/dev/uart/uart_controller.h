@@ -1,0 +1,55 @@
+// PL011-style UART model. The paper's §2.2 taxonomy notes that the manual
+// "trim down" approach IS viable for trivial drivers like a TEE UART — this
+// device (and tee::TrimmedUartDriver) materialize that contrast: a device
+// simple enough that ~60 lines of hand-written in-TEE driver suffice, unlike
+// MMC/USB/VCHIQ where driverlets are the economical route.
+#ifndef SRC_DEV_UART_UART_CONTROLLER_H_
+#define SRC_DEV_UART_UART_CONTROLLER_H_
+
+#include <deque>
+#include <string>
+
+#include "src/soc/device.h"
+#include "src/soc/irq.h"
+#include "src/soc/sim_clock.h"
+
+namespace dlt {
+
+inline constexpr uint64_t kUartDr = 0x00;  // data: write = tx, read = rx pop
+inline constexpr uint64_t kUartFr = 0x18;  // flags
+inline constexpr uint64_t kUartCr = 0x30;  // control: bit0 enable
+
+inline constexpr uint32_t kUartFrTxFull = 1u << 5;
+inline constexpr uint32_t kUartFrRxEmpty = 1u << 4;
+inline constexpr uint32_t kUartCrEnable = 1u << 0;
+
+class UartController : public MmioDevice {
+ public:
+  UartController(SimClock* clock, InterruptController* irq, int irq_line)
+      : clock_(clock), irq_(irq), irq_line_(irq_line) {}
+
+  std::string_view name() const override { return "uart"; }
+  uint32_t MmioRead32(uint64_t offset) override;
+  void MmioWrite32(uint64_t offset, uint32_t value) override;
+  void SoftReset() override;
+
+  // Test hooks: everything the UART transmitted; inject received bytes.
+  const std::string& transmitted() const { return tx_log_; }
+  void InjectRx(std::string_view data, uint64_t delay_us = 0);
+
+ private:
+  static constexpr size_t kTxFifoDepth = 16;
+
+  SimClock* clock_;
+  InterruptController* irq_;
+  int irq_line_;
+  uint32_t cr_ = kUartCrEnable;
+  std::string tx_log_;
+  size_t tx_in_flight_ = 0;  // bytes still "on the wire" (drains over time)
+  uint64_t tx_drain_at_us_ = 0;
+  std::deque<uint8_t> rx_;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_DEV_UART_UART_CONTROLLER_H_

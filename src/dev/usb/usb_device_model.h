@@ -1,0 +1,41 @@
+// Interface between the DWC2 host controller model and attached USB devices.
+#ifndef SRC_DEV_USB_USB_DEVICE_MODEL_H_
+#define SRC_DEV_USB_USB_DEVICE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/soc/status.h"
+
+namespace dlt {
+
+struct UsbSetup {
+  uint8_t bm_request_type = 0;
+  uint8_t b_request = 0;
+  uint16_t w_value = 0;
+  uint16_t w_index = 0;
+  uint16_t w_length = 0;
+};
+
+class UsbDeviceModel {
+ public:
+  virtual ~UsbDeviceModel() = default;
+
+  virtual bool connected() const = 0;
+
+  // Control transfers on EP0. |data_in| is filled for device-to-host requests.
+  virtual Status ControlRequest(const UsbSetup& setup, const uint8_t* data_out,
+                                std::vector<uint8_t>* data_in) = 0;
+
+  // Bulk endpoints. |extra_us| reports device-side latency (flash program time)
+  // beyond the wire time, which the host controller adds to the transaction.
+  virtual Status BulkOut(const uint8_t* data, size_t len, uint64_t* extra_us) = 0;
+  virtual Status BulkIn(size_t max_len, std::vector<uint8_t>* data, uint64_t* extra_us) = 0;
+
+  // Bus reset.
+  virtual void Reset() = 0;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_DEV_USB_USB_DEVICE_MODEL_H_

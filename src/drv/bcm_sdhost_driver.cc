@@ -1,0 +1,346 @@
+#include "src/drv/bcm_sdhost_driver.h"
+
+#include "src/dev/mmc/mmc_controller.h"
+#include "src/soc/dma_engine.h"
+#include "src/soc/log.h"
+
+namespace dlt {
+
+namespace {
+constexpr uint64_t kCmdTimeoutUs = 200'000;
+constexpr uint64_t kIrqTimeoutUs = 1'000'000;
+constexpr uint64_t kPollIntervalUs = 10;
+constexpr uint32_t kPageBytes = 4096;
+constexpr uint32_t kCbBytes = 32;
+// The SoC DMA engine cannot move the last words of a read (paper §6.1.3); the
+// driver drains the final 3 words through SDDATA.
+constexpr uint32_t kReadTailBytes = 12;
+}  // namespace
+
+Status BcmSdhostDriver::SendCommand(const TValue& cmd_word, const TValue& arg, TValue* resp_out) {
+  io_->RegWrite32(cfg_.mmc_device, kSdArg, arg, DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdCmd, TValue(kSdCmdNewFlag) | cmd_word, DLT_HERE);
+  // Wait for the controller to drop the NEW flag (command finished).
+  Status s = io_->PollReg32(cfg_.mmc_device, kSdCmd, kSdCmdNewFlag, 0, /*negate=*/false,
+                            kCmdTimeoutUs, kPollIntervalUs, DLT_HERE);
+  if (!Ok(s)) {
+    return s;
+  }
+  TValue cmd_after = io_->RegRead32(cfg_.mmc_device, kSdCmd, DLT_HERE);
+  if (!io_->Branch(cmd_after & TValue(kSdCmdFailFlag), Cmp::kEq, TValue(0), DLT_HERE)) {
+    return Status::kIoError;
+  }
+  TValue resp = io_->RegRead32(cfg_.mmc_device, kSdRsp0, DLT_HERE);
+  if (resp_out != nullptr) {
+    *resp_out = resp;
+  }
+  return Status::kOk;
+}
+
+Status BcmSdhostDriver::ConfigureForRequest(bool is_read, const TValue& blkcnt) {
+  io_->RegWrite32(cfg_.mmc_device, kSdVdd, TValue(1), DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdTout, TValue(0xf00000), DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdCdiv, TValue(0x148), DLT_HERE);
+  uint32_t irpt = kSdHcfgWideIntBus | (is_read ? kSdHcfgBlockIrptEn : kSdHcfgBusyIrptEn);
+  io_->RegWrite32(cfg_.mmc_device, kSdHcfg, TValue(irpt), DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdHbct, TValue(512), DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdHblc, blkcnt, DLT_HERE);
+  // The FSM must be idle with an empty FIFO before a new job (residue state
+  // left by prior requests is a divergence source, paper §3.3 cause 1).
+  TValue edm = io_->RegRead32(cfg_.mmc_device, kSdEdm, DLT_HERE);
+  if (!io_->Branch(edm & TValue(0xf), Cmp::kEq, TValue(kSdEdmStateIdle), DLT_HERE)) {
+    return Status::kBadState;
+  }
+  return Status::kOk;
+}
+
+Status BcmSdhostDriver::PlanDma(const TValue& total_bytes, bool shorten_last_by_12,
+                                DmaPlan* plan) {
+  TValue consumed(0);
+  while (true) {
+    TValue page = io_->DmaAlloc(TValue(kPageBytes), DLT_HERE);
+    if (page.value() == 0) {
+      return Status::kNoMemory;
+    }
+    plan->pages.push_back(page);
+    if (io_->Branch(total_bytes - consumed, Cmp::kGt, TValue(kPageBytes), DLT_HERE)) {
+      plan->lens.push_back(TValue(kPageBytes));
+      consumed = consumed + TValue(kPageBytes);
+      continue;
+    }
+    plan->lens.push_back(total_bytes - consumed);
+    break;
+  }
+  if (shorten_last_by_12) {
+    plan->lens.back() = plan->lens.back() - TValue(kReadTailBytes);
+  }
+  plan->cb_region =
+      io_->DmaAlloc(TValue(static_cast<uint64_t>(plan->pages.size()) * kCbBytes), DLT_HERE);
+  if (plan->cb_region.value() == 0) {
+    return Status::kNoMemory;
+  }
+  return Status::kOk;
+}
+
+Status BcmSdhostDriver::RunDma(const DmaPlan& plan, bool to_device) {
+  size_t n = plan.pages.size();
+  for (size_t i = 0; i < n; ++i) {
+    TValue cb = plan.cb_region + TValue(static_cast<uint64_t>(i) * kCbBytes);
+    uint32_t ti = (i + 1 == n) ? kDmaTiIntEn : 0;
+    if (to_device) {
+      ti |= kDmaTiSrcInc | kDmaTiDestDreq;
+      io_->ShmWrite32(cb + TValue(0), TValue(ti), DLT_HERE);
+      io_->ShmWrite32(cb + TValue(4), plan.pages[i], DLT_HERE);          // source_ad
+      io_->ShmWrite32(cb + TValue(8), TValue(cfg_.data_port), DLT_HERE);  // dest_ad
+    } else {
+      ti |= kDmaTiSrcDreq | kDmaTiDestInc;
+      io_->ShmWrite32(cb + TValue(0), TValue(ti), DLT_HERE);
+      io_->ShmWrite32(cb + TValue(4), TValue(cfg_.data_port), DLT_HERE);  // source_ad
+      io_->ShmWrite32(cb + TValue(8), plan.pages[i], DLT_HERE);           // dest_ad
+    }
+    io_->ShmWrite32(cb + TValue(12), plan.lens[i], DLT_HERE);  // txfr_len
+    TValue next = (i + 1 == n)
+                      ? TValue(0)
+                      : plan.cb_region + TValue(static_cast<uint64_t>(i + 1) * kCbBytes);
+    io_->ShmWrite32(cb + TValue(20), next, DLT_HERE);  // nextconbk
+  }
+  uint64_t ch_base = static_cast<uint64_t>(cfg_.dma_channel) * 0x100;
+  io_->RegWrite32(cfg_.dma_device, ch_base + kDmaConblkAd, plan.cb_region, DLT_HERE);
+  io_->RegWrite32(cfg_.dma_device, ch_base + kDmaCs,
+                  TValue(kDmaCsActive | kDmaCsEnd | kDmaCsInt), DLT_HERE);
+  Status s = io_->WaitForIrq(cfg_.dma_irq, kIrqTimeoutUs, DLT_HERE);
+  if (!Ok(s)) {
+    return s;
+  }
+  TValue cs = io_->RegRead32(cfg_.dma_device, ch_base + kDmaCs, DLT_HERE);
+  if (!io_->Branch(cs & TValue(kDmaCsEnd), Cmp::kEq, TValue(kDmaCsEnd), DLT_HERE)) {
+    return Status::kIoError;
+  }
+  if (!io_->Branch(cs & TValue(kDmaCsError), Cmp::kEq, TValue(0), DLT_HERE)) {
+    return Status::kIoError;
+  }
+  io_->RegWrite32(cfg_.dma_device, ch_base + kDmaCs, TValue(kDmaCsEnd | kDmaCsInt), DLT_HERE);
+  return Status::kOk;
+}
+
+Status BcmSdhostDriver::Transfer(const TValue& rw, const TValue& blkcnt, const TValue& blkid,
+                                 const TValue& flag, uint8_t* buf, size_t buf_len) {
+  ++transfers_;
+  // Input validation: these branches become the template's initial constraints.
+  if (!io_->Branch(blkid & TValue(0x7), Cmp::kEq, TValue(0), DLT_HERE)) {
+    return Status::kInvalidArg;  // the block layer guarantees 8-sector alignment
+  }
+  bool is_read = io_->Branch(rw, Cmp::kEq, TValue(kMmcRwRead), DLT_HERE);
+  if (!is_read && !io_->Branch(rw, Cmp::kEq, TValue(kMmcRwWrite), DLT_HERE)) {
+    return Status::kInvalidArg;
+  }
+  if (!io_->Branch(blkcnt, Cmp::kGt, TValue(0), DLT_HERE) ||
+      !io_->Branch(blkcnt, Cmp::kLe, TValue(0x400), DLT_HERE)) {
+    return Status::kInvalidArg;
+  }
+  if (!io_->Branch(blkid, Cmp::kLe, TValue(cfg_.max_sectors - 1), DLT_HERE)) {
+    return Status::kOutOfRange;
+  }
+  TValue total = blkcnt * TValue(512);
+  if (buf_len < total.value()) {
+    return Status::kInvalidArg;
+  }
+
+  DLT_RETURN_IF_ERROR(ConfigureForRequest(is_read, blkcnt));
+
+  bool direct = io_->Branch(flag & TValue(kMmcFlagDirect), Cmp::kEq, TValue(kMmcFlagDirect),
+                            DLT_HERE);
+  bool multi = !io_->Branch(blkcnt, Cmp::kEq, TValue(1), DLT_HERE);
+  TValue arg = blkid & (~TValue(0x7));
+  Status s = Status::kOk;
+
+  if (is_read) {
+    // CMD23 (SET_BLOCK_COUNT) is used on the read path but not the write path
+    // (paper §6.1.3).
+    TValue resp;
+    s = SendCommand(TValue(23), blkcnt, &resp);
+    if (!Ok(s)) {
+      return RecoverFromError(DLT_HERE);
+    }
+    TValue cmd_word = (rw << TValue(6)) | TValue(multi ? 18 : 17);
+    s = SendCommand(cmd_word, arg, &resp);
+    if (!Ok(s) || !io_->Branch(resp & TValue(kSdStatusIllegalCmd), Cmp::kEq, TValue(0), DLT_HERE)) {
+      return RecoverFromError(DLT_HERE);
+    }
+    s = io_->WaitForIrq(cfg_.mmc_irq, kIrqTimeoutUs, DLT_HERE);
+    if (!Ok(s)) {
+      return RecoverFromError(DLT_HERE);
+    }
+    TValue hsts = io_->RegRead32(cfg_.mmc_device, kSdHsts, DLT_HERE);
+    if (!io_->Branch(hsts & TValue(kSdHstsErrorMask), Cmp::kEq, TValue(0), DLT_HERE) ||
+        !io_->Branch(hsts & TValue(kSdHstsBlockIrpt), Cmp::kEq, TValue(kSdHstsBlockIrpt),
+                     DLT_HERE)) {
+      return RecoverFromError(DLT_HERE);
+    }
+    io_->RegWrite32(cfg_.mmc_device, kSdHsts, TValue(kSdHstsBlockIrpt | kSdHstsDataFlag),
+                    DLT_HERE);
+
+    if (direct) {
+      // O_DIRECT: shift individual words through SDDATA (paper's path (1)).
+      io_->PioIn(cfg_.mmc_device, kSdData, buf, TValue(0), total, DLT_HERE);
+    } else {
+      DmaPlan plan;
+      DLT_RETURN_IF_ERROR(PlanDma(total, /*shorten_last_by_12=*/true, &plan));
+      s = RunDma(plan, /*to_device=*/false);
+      if (!Ok(s)) {
+        return RecoverFromError(DLT_HERE);
+      }
+      // SoC quirk: the DMA engine left the last 3 words in the FIFO; wait for
+      // them and drain via SDDATA.
+      s = io_->PollReg32(cfg_.mmc_device, kSdEdm, kSdEdmFifoMask << kSdEdmFifoShift,
+                         3 << kSdEdmFifoShift, /*negate=*/false, kCmdTimeoutUs, kPollIntervalUs,
+                         DLT_HERE);
+      if (!Ok(s)) {
+        return RecoverFromError(DLT_HERE);
+      }
+      io_->PioIn(cfg_.mmc_device, kSdData, buf, total - TValue(kReadTailBytes),
+                 TValue(kReadTailBytes), DLT_HERE);
+      // Copy DMA pages out to the caller's buffer.
+      TValue off(0);
+      for (size_t i = 0; i < plan.pages.size(); ++i) {
+        io_->CopyFromDma(buf, off, plan.pages[i], plan.lens[i], DLT_HERE);
+        off = off + plan.lens[i];
+      }
+    }
+    if (multi) {
+      s = SendCommand(TValue(12), TValue(0), nullptr);
+      if (!Ok(s)) {
+        return RecoverFromError(DLT_HERE);
+      }
+    }
+  } else {
+    if (direct) {
+      TValue cmd_word = (rw << TValue(6)) | TValue(multi ? 25 : 24);
+      TValue resp;
+      s = SendCommand(cmd_word, arg, &resp);
+      if (!Ok(s)) {
+        return RecoverFromError(DLT_HERE);
+      }
+      io_->PioOut(cfg_.mmc_device, kSdData, buf, TValue(0), total, DLT_HERE);
+    } else {
+      DmaPlan plan;
+      DLT_RETURN_IF_ERROR(PlanDma(total, /*shorten_last_by_12=*/false, &plan));
+      TValue off(0);
+      for (size_t i = 0; i < plan.pages.size(); ++i) {
+        io_->CopyToDma(plan.pages[i], buf, off, plan.lens[i], DLT_HERE);
+        off = off + plan.lens[i];
+      }
+      // Push the data into the controller FIFO, then issue the write command.
+      s = RunDma(plan, /*to_device=*/true);
+      if (!Ok(s)) {
+        return RecoverFromError(DLT_HERE);
+      }
+      TValue cmd_word = (rw << TValue(6)) | TValue(multi ? 25 : 24);
+      TValue resp;
+      s = SendCommand(cmd_word, arg, &resp);
+      if (!Ok(s) ||
+          !io_->Branch(resp & TValue(kSdStatusIllegalCmd), Cmp::kEq, TValue(0), DLT_HERE)) {
+        return RecoverFromError(DLT_HERE);
+      }
+    }
+    // Wait for the card to finish programming (busy release).
+    s = io_->WaitForIrq(cfg_.mmc_irq, kIrqTimeoutUs, DLT_HERE);
+    if (!Ok(s)) {
+      return RecoverFromError(DLT_HERE);
+    }
+    TValue hsts = io_->RegRead32(cfg_.mmc_device, kSdHsts, DLT_HERE);
+    if (!io_->Branch(hsts & TValue(kSdHstsErrorMask), Cmp::kEq, TValue(0), DLT_HERE) ||
+        !io_->Branch(hsts & TValue(kSdHstsBusyIrpt), Cmp::kEq, TValue(kSdHstsBusyIrpt),
+                     DLT_HERE)) {
+      return RecoverFromError(DLT_HERE);
+    }
+    io_->RegWrite32(cfg_.mmc_device, kSdHsts, TValue(kSdHstsBusyIrpt), DLT_HERE);
+    if (multi) {
+      s = SendCommand(TValue(12), TValue(0), nullptr);
+      if (!Ok(s)) {
+        return RecoverFromError(DLT_HERE);
+      }
+    }
+  }
+
+  // Final sanity: the controller FSM must be back to idle with a drained FIFO.
+  TValue edm = io_->RegRead32(cfg_.mmc_device, kSdEdm, DLT_HERE);
+  if (!io_->Branch(edm & TValue(0xf), Cmp::kEq, TValue(kSdEdmStateIdle), DLT_HERE)) {
+    return RecoverFromError(DLT_HERE);
+  }
+  io_->DmaReleaseAll(DLT_HERE);
+  return Status::kOk;
+}
+
+Status BcmSdhostDriver::RecoverFromError(SourceLoc loc) {
+  DLT_LOG(kInfo) << "mmc driver error recovery from " << loc.file << ":" << loc.line;
+  // Error state machine: power-cycle the bus interface and clear stale status,
+  // "so that the driver can recover from runtime errors" (paper §2.2).
+  io_->RegWrite32(cfg_.mmc_device, kSdVdd, TValue(0), DLT_HERE);
+  io_->DelayUs(100, DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdVdd, TValue(1), DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdHsts, TValue(0xffff), DLT_HERE);
+  io_->DmaReleaseAll(DLT_HERE);
+  return Status::kIoError;
+}
+
+Status BcmSdhostDriver::Probe() {
+  io_->RegWrite32(cfg_.mmc_device, kSdVdd, TValue(1), DLT_HERE);
+  io_->DelayUs(1000, DLT_HERE);
+  io_->RegWrite32(cfg_.mmc_device, kSdCdiv, TValue(0x3e8), DLT_HERE);  // identification clock
+  TValue resp;
+  DLT_RETURN_IF_ERROR(SendCommand(TValue(0), TValue(0), nullptr));  // GO_IDLE
+  DLT_RETURN_IF_ERROR(SendCommand(TValue(8), TValue(0x1aa), &resp));
+  if ((resp.value() & 0xfff) != 0x1aa) {
+    return Status::kIoError;
+  }
+  // ACMD41 loop until the card reports power-up.
+  for (int i = 0; i < 10; ++i) {
+    DLT_RETURN_IF_ERROR(SendCommand(TValue(55), TValue(0), nullptr));
+    DLT_RETURN_IF_ERROR(SendCommand(TValue(41), TValue(0x40ff8000), &resp));
+    if (resp.value() & 0x80000000) {
+      break;
+    }
+    io_->DelayUs(1000, DLT_HERE);
+  }
+  if (!(resp.value() & 0x80000000)) {
+    return Status::kTimeout;
+  }
+  DLT_RETURN_IF_ERROR(SendCommand(TValue(2), TValue(0), nullptr));  // ALL_SEND_CID
+  DLT_RETURN_IF_ERROR(SendCommand(TValue(3), TValue(0), &resp));    // SEND_RELATIVE_ADDR
+  uint32_t rca = static_cast<uint32_t>(resp.value()) & 0xffff0000;
+  DLT_RETURN_IF_ERROR(SendCommand(TValue(7), TValue(rca), nullptr));    // SELECT
+  DLT_RETURN_IF_ERROR(SendCommand(TValue(16), TValue(512), nullptr));   // SET_BLOCKLEN
+  io_->RegWrite32(cfg_.mmc_device, kSdCdiv, TValue(0x148), DLT_HERE);   // full-speed clock
+  return Status::kOk;
+}
+
+void BcmSdhostDriver::MaybeTune() {
+  uint64_t now = io_->NowUs();
+  if (now - last_tune_us_ < 1'000'000) {
+    return;
+  }
+  last_tune_us_ = now;
+  // Read bus statistics and retune the clock divisor (paper §2.2: the full
+  // driver "tunes bus parameters periodically, by default every second").
+  TValue edm = io_->RegRead32(cfg_.mmc_device, kSdEdm, DLT_HERE);
+  uint32_t fifo = (edm.value32() >> kSdEdmFifoShift) & kSdEdmFifoMask;
+  uint32_t cdiv = fifo > 512 ? 0x150 : 0x148;
+  io_->RegWrite32(cfg_.mmc_device, kSdCdiv, TValue(cdiv), DLT_HERE);
+}
+
+Status BcmSdhostDriver::ReadBlocks(uint64_t blkid, uint32_t blkcnt, uint8_t* buf) {
+  MaybeTune();
+  io_->DelayUs(14, DLT_HERE);  // driver CPU time per request
+  return Transfer(TValue(kMmcRwRead), TValue(blkcnt), TValue(blkid), TValue(0), buf,
+                  static_cast<size_t>(blkcnt) * 512);
+}
+
+Status BcmSdhostDriver::WriteBlocks(uint64_t blkid, uint32_t blkcnt, const uint8_t* buf) {
+  MaybeTune();
+  io_->DelayUs(14, DLT_HERE);
+  return Transfer(TValue(kMmcRwWrite), TValue(blkcnt), TValue(blkid), TValue(0),
+                  const_cast<uint8_t*>(buf), static_cast<size_t>(blkcnt) * 512);
+}
+
+}  // namespace dlt

@@ -1,0 +1,29 @@
+#include "src/drv/touch_driver.h"
+
+#include "src/dev/display/touch_controller.h"
+
+namespace dlt {
+
+Status TouchDriver::ReadEvent(uint8_t* evt_out, uint64_t timeout_us) {
+  TValue ctrl = io_->RegRead32(cfg_.touch_device, kTouchCtrl, DLT_HERE);
+  if (!io_->Branch(ctrl & TValue(kTouchCtrlEnable), Cmp::kEq, TValue(kTouchCtrlEnable),
+                   DLT_HERE)) {
+    return Status::kBadState;
+  }
+  // FIFO occupancy bookkeeping: a statistic input (varies with user timing),
+  // never branched on.
+  (void)io_->RegRead32(cfg_.touch_device, kTouchFifoLvl, DLT_HERE);
+
+  DLT_RETURN_IF_ERROR(io_->WaitForIrq(cfg_.touch_irq, timeout_us, DLT_HERE));
+  TValue status = io_->RegRead32(cfg_.touch_device, kTouchStatus, DLT_HERE);
+  if (!io_->Branch(status & TValue(kTouchStatusPending), Cmp::kEq, TValue(kTouchStatusPending),
+                   DLT_HERE)) {
+    return Status::kIoError;
+  }
+  // The sample itself is IO data, not device state: deliver via the data plane.
+  io_->PioIn(cfg_.touch_device, kTouchData, evt_out, TValue(0), TValue(4), DLT_HERE);
+  io_->RegWrite32(cfg_.touch_device, kTouchStatus, TValue(kTouchStatusPending), DLT_HERE);
+  return Status::kOk;
+}
+
+}  // namespace dlt

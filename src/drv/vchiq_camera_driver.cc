@@ -1,0 +1,261 @@
+#include "src/drv/vchiq_camera_driver.h"
+
+#include "src/soc/log.h"
+
+namespace dlt {
+
+namespace {
+constexpr uint64_t kBellTimeoutUs = 5'000'000;  // first frame pays sensor init (~2 s)
+constexpr int kPipelineDepth = 3;
+
+uint32_t Pad8(uint32_t n) { return (n + 7) & ~7u; }
+}  // namespace
+
+void VchiqCameraDriver::SendMessage(VchiqMsgType type, const TValue* words, uint32_t nwords) {
+  uint32_t base = kVchiqSlaveBase + slave_tx_;
+  io_->ShmWrite32(queue_ + TValue(base), TValue(static_cast<uint64_t>(type) << kMsgTypeShift),
+                  DLT_HERE);
+  io_->ShmWrite32(queue_ + TValue(base + 4), TValue(nwords * 4), DLT_HERE);
+  for (uint32_t i = 0; i < nwords; ++i) {
+    io_->ShmWrite32(queue_ + TValue(base + kMsgHdrBytes + i * 4), words[i], DLT_HERE);
+  }
+  slave_tx_ += kMsgHdrBytes + Pad8(nwords * 4);
+  io_->ShmWrite32(queue_ + TValue(kSzSlaveTxPos), TValue(slave_tx_), DLT_HERE);
+  io_->RegWrite32(cfg_.vchiq_device, kBell2, TValue(1), DLT_HERE);
+}
+
+void VchiqCameraDriver::SendMmal(MmalMsgType type, const TValue& a, const TValue& b) {
+  TValue words[3] = {TValue(static_cast<uint64_t>(type)), a, b};
+  SendMessage(VchiqMsgType::kData, words, 3);
+}
+
+Status VchiqCameraDriver::WaitMessage(TValue* payload_addr, TValue* msgid) {
+  DLT_RETURN_IF_ERROR(io_->WaitForIrq(cfg_.bell_irq, kBellTimeoutUs, DLT_HERE));
+  // Acknowledge the doorbell; the pending count is a statistic input.
+  (void)io_->RegRead32(cfg_.vchiq_device, kBell0, DLT_HERE);
+  // Slot-handler poll: wait for the VC4 write cursor to pass our read cursor.
+  // This open-coded loop is what the recorder's loop analysis lifts (§4.2 III).
+  TValue tx = io_->ShmRead32(queue_ + TValue(kSzMasterTxPos), DLT_HERE);
+  int spins = 0;
+  while (!io_->Branch(tx, Cmp::kGt, TValue(master_rx_), DLT_HERE)) {
+    if (++spins > 20'000) {
+      return Status::kTimeout;
+    }
+    io_->DelayUs(50, DLT_HERE);
+    tx = io_->ShmRead32(queue_ + TValue(kSzMasterTxPos), DLT_HERE);
+  }
+  uint32_t base = kVchiqMasterBase + master_rx_;
+  *msgid = io_->ShmRead32(queue_ + TValue(base), DLT_HERE);
+  TValue size = io_->ShmRead32(queue_ + TValue(base + 4), DLT_HERE);
+  *payload_addr = queue_ + TValue(base + kMsgHdrBytes);
+  master_rx_ += kMsgHdrBytes + Pad8(static_cast<uint32_t>(size.value()));
+  return Status::kOk;
+}
+
+Status VchiqCameraDriver::WaitMmalReply(MmalMsgType expect) {
+  TValue payload;
+  TValue msgid;
+  DLT_RETURN_IF_ERROR(WaitMessage(&payload, &msgid));
+  if (!io_->Branch(msgid >> TValue(kMsgTypeShift), Cmp::kEq,
+                   TValue(static_cast<uint64_t>(VchiqMsgType::kData)), DLT_HERE)) {
+    return Status::kIoError;
+  }
+  TValue w0 = io_->ShmRead32(payload, DLT_HERE);
+  if (!io_->Branch(w0, Cmp::kEq, TValue(static_cast<uint64_t>(expect) | kMmalReplyFlag),
+                   DLT_HERE)) {
+    return Status::kIoError;
+  }
+  TValue status = io_->ShmRead32(payload + TValue(4), DLT_HERE);
+  if (!io_->Branch(status, Cmp::kEq, TValue(0), DLT_HERE)) {
+    return Status::kIoError;
+  }
+  return Status::kOk;
+}
+
+Status VchiqCameraDriver::QueueInit() {
+  io_->ShmWrite32(queue_ + TValue(kSzMagic), TValue(kVchiqMagic), DLT_HERE);
+  io_->ShmWrite32(queue_ + TValue(kSzVersion), TValue(kVchiqVersion), DLT_HERE);
+  io_->ShmWrite32(queue_ + TValue(kSzSlotSize), TValue(kVchiqSlotSize), DLT_HERE);
+  io_->ShmWrite32(queue_ + TValue(kSzMaxSlots), TValue(kVchiqMaxSlots), DLT_HERE);
+  io_->ShmWrite32(queue_ + TValue(kSzMasterTxPos), TValue(0), DLT_HERE);
+  io_->ShmWrite32(queue_ + TValue(kSzSlaveTxPos), TValue(0), DLT_HERE);
+  // Hand the (16 KB-aligned) queue base to VC4 — the MBOX_WRITE taint sink of
+  // paper Table 6.
+  io_->RegWrite32(cfg_.vchiq_device, kMboxWrite,
+                  queue_ & TValue(~static_cast<uint64_t>(kMboxQueueAlignMask)), DLT_HERE);
+  return Status::kOk;
+}
+
+Status VchiqCameraDriver::Handshake() {
+  SendMessage(VchiqMsgType::kConnect, nullptr, 0);
+  TValue payload;
+  TValue msgid;
+  DLT_RETURN_IF_ERROR(WaitMessage(&payload, &msgid));
+  if (!io_->Branch(msgid >> TValue(kMsgTypeShift), Cmp::kEq,
+                   TValue(static_cast<uint64_t>(VchiqMsgType::kConnect)), DLT_HERE)) {
+    return Status::kIoError;
+  }
+  SendMessage(VchiqMsgType::kOpen, nullptr, 0);
+  DLT_RETURN_IF_ERROR(WaitMessage(&payload, &msgid));
+  if (!io_->Branch(msgid >> TValue(kMsgTypeShift), Cmp::kEq,
+                   TValue(static_cast<uint64_t>(VchiqMsgType::kOpenAck)), DLT_HERE)) {
+    return Status::kIoError;
+  }
+  return Status::kOk;
+}
+
+Status VchiqCameraDriver::ConfigureCamera(const TValue& resolution) {
+  SendMmal(MmalMsgType::kComponentCreate, TValue(kMmalCameraComponent), TValue(0));
+  DLT_RETURN_IF_ERROR(WaitMmalReply(MmalMsgType::kComponentCreate));
+  SendMmal(MmalMsgType::kComponentEnable, TValue(0), TValue(0));
+  DLT_RETURN_IF_ERROR(WaitMmalReply(MmalMsgType::kComponentEnable));
+  // The resolution taint sink (paper Table 6).
+  SendMmal(MmalMsgType::kPortParamSet, TValue(kMmalParamResolution), resolution);
+  DLT_RETURN_IF_ERROR(WaitMmalReply(MmalMsgType::kPortParamSet));
+  SendMmal(MmalMsgType::kPortEnable, TValue(0), TValue(0));
+  DLT_RETURN_IF_ERROR(WaitMmalReply(MmalMsgType::kPortEnable));
+  return Status::kOk;
+}
+
+Status VchiqCameraDriver::Capture(const TValue& frame, const TValue& resolution, uint8_t* buf,
+                                  size_t buf_cap, const TValue& buf_size, uint8_t* img_size_out) {
+  ++captures_;
+  slave_tx_ = 0;
+  master_rx_ = 0;
+  if (!io_->Branch(frame, Cmp::kGt, TValue(0), DLT_HERE)) {
+    return Status::kInvalidArg;
+  }
+  if (buf_cap < buf_size.value()) {
+    return Status::kInvalidArg;
+  }
+  queue_ = io_->DmaAlloc(TValue(kVchiqQueueBytes), DLT_HERE);
+  if (!io_->Branch(queue_, Cmp::kNe, TValue(0), DLT_HERE)) {
+    return Status::kNoMemory;
+  }
+  DLT_RETURN_IF_ERROR(QueueInit());
+  DLT_RETURN_IF_ERROR(Handshake());
+  // The frame landing buffer ("pg_list" in paper Table 6).
+  TValue pg_list = io_->DmaAlloc(buf_size, DLT_HERE);
+  if (!io_->Branch(pg_list, Cmp::kNe, TValue(0), DLT_HERE)) {
+    return Status::kNoMemory;
+  }
+  DLT_RETURN_IF_ERROR(ConfigureCamera(resolution));
+
+  if (cfg_.pipelined) {
+    // ---- Native streaming path: keep captures ahead, coalesce interrupts ----
+    uint64_t want = frame.value();
+    uint64_t requested = 0;
+    uint64_t done = 0;
+    while (requested < want && requested < kPipelineDepth) {
+      SendMmal(MmalMsgType::kCapture, TValue(requested), TValue(0));
+      ++requested;
+    }
+    int idle_rounds = 0;
+    while (done < want) {
+      uint32_t tx =
+          io_->ShmRead32(queue_ + TValue(kSzMasterTxPos), DLT_HERE).value32();
+      if (tx <= master_rx_) {
+        Status s = io_->WaitForIrq(cfg_.bell_irq, kBellTimeoutUs, DLT_HERE);
+        (void)io_->RegRead32(cfg_.vchiq_device, kBell0, DLT_HERE);
+        // The doorbell races VC4's lazy slot-zero sync: poll briefly for the
+        // write cursor to move (same reason the serial slot handler polls).
+        for (int spin = 0; spin < 100; ++spin) {
+          tx = io_->ShmRead32(queue_ + TValue(kSzMasterTxPos), DLT_HERE).value32();
+          if (tx > master_rx_) {
+            break;
+          }
+          io_->DelayUs(50, DLT_HERE);
+        }
+        if (tx <= master_rx_) {
+          if (!Ok(s) && ++idle_rounds > 3) {
+            return Status::kTimeout;
+          }
+          continue;
+        }
+      }
+      idle_rounds = 0;
+      while (master_rx_ < tx) {
+        uint32_t base = kVchiqMasterBase + master_rx_;
+        uint32_t msgid = io_->ShmRead32(queue_ + TValue(base), DLT_HERE).value32();
+        uint32_t size = io_->ShmRead32(queue_ + TValue(base + 4), DLT_HERE).value32();
+        TValue payload = queue_ + TValue(base + kMsgHdrBytes);
+        master_rx_ += kMsgHdrBytes + Pad8(size);
+        auto type = static_cast<VchiqMsgType>(msgid >> kMsgTypeShift);
+        if (type == VchiqMsgType::kData) {
+          uint32_t w0 = io_->ShmRead32(payload, DLT_HERE).value32();
+          if (w0 == (static_cast<uint32_t>(MmalMsgType::kBufferDone) | kMmalReplyFlag)) {
+            TValue img = io_->ShmRead32(payload + TValue(4), DLT_HERE);
+            if (img.value() > buf_size.value()) {
+              return Status::kIoError;
+            }
+            io_->CopyFromDma(img_size_out, TValue(0), payload + TValue(4), TValue(4), DLT_HERE);
+            TValue words[2] = {pg_list, img};
+            SendMessage(VchiqMsgType::kBulkRx, words, 2);
+          }
+        } else if (type == VchiqMsgType::kBulkRxDone) {
+          TValue actual = io_->ShmRead32(payload, DLT_HERE);
+          TValue status = io_->ShmRead32(payload + TValue(4), DLT_HERE);
+          if (status.value() != 0) {
+            return Status::kIoError;
+          }
+          io_->CopyFromDma(buf, TValue(0), pg_list, actual, DLT_HERE);
+          ++done;
+          if (requested < want) {
+            SendMmal(MmalMsgType::kCapture, TValue(requested), TValue(0));
+            ++requested;
+          }
+        }
+      }
+    }
+  } else {
+    // ---- Serial path (recorded): one outstanding request, per-event IRQs ----
+    int f = 0;
+    while (io_->Branch(TValue(static_cast<uint64_t>(f)), Cmp::kLt, frame, DLT_HERE)) {
+      SendMmal(MmalMsgType::kCapture, TValue(static_cast<uint64_t>(f)), TValue(0));
+      TValue payload;
+      TValue msgid;
+      DLT_RETURN_IF_ERROR(WaitMessage(&payload, &msgid));
+      if (!io_->Branch(msgid >> TValue(kMsgTypeShift), Cmp::kEq,
+                       TValue(static_cast<uint64_t>(VchiqMsgType::kData)), DLT_HERE)) {
+        return Status::kIoError;
+      }
+      TValue w0 = io_->ShmRead32(payload, DLT_HERE);
+      if (!io_->Branch(
+              w0, Cmp::kEq,
+              TValue(static_cast<uint64_t>(MmalMsgType::kBufferDone) | kMmalReplyFlag),
+              DLT_HERE)) {
+        return Status::kIoError;
+      }
+      // img_size: assigned by VC4; must fit the provided buffer (Table 6).
+      TValue img = io_->ShmRead32(payload + TValue(4), DLT_HERE);
+      if (!io_->Branch(img, Cmp::kLe, buf_size, DLT_HERE)) {
+        return Status::kIoError;
+      }
+      io_->CopyFromDma(img_size_out, TValue(0), payload + TValue(4), TValue(4), DLT_HERE);
+      // Initiate the bulk receive: img_size is sent back to VC4 (Table 6).
+      TValue words[2] = {pg_list, img};
+      SendMessage(VchiqMsgType::kBulkRx, words, 2);
+      DLT_RETURN_IF_ERROR(WaitMessage(&payload, &msgid));
+      if (!io_->Branch(msgid >> TValue(kMsgTypeShift), Cmp::kEq,
+                       TValue(static_cast<uint64_t>(VchiqMsgType::kBulkRxDone)), DLT_HERE)) {
+        return Status::kIoError;
+      }
+      TValue actual = io_->ShmRead32(payload, DLT_HERE);
+      // "VC4 passes another input value indicating successful transmission
+      // size, which img_size must exactly match" (paper §6.3.3).
+      if (!io_->Branch(actual, Cmp::kEq, img, DLT_HERE)) {
+        return Status::kIoError;
+      }
+      TValue status = io_->ShmRead32(payload + TValue(4), DLT_HERE);
+      if (!io_->Branch(status, Cmp::kEq, TValue(0), DLT_HERE)) {
+        return Status::kIoError;
+      }
+      io_->CopyFromDma(buf, TValue(0), pg_list, img, DLT_HERE);
+      ++f;
+    }
+  }
+  io_->DmaReleaseAll(DLT_HERE);
+  return Status::kOk;
+}
+
+}  // namespace dlt

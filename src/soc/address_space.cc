@@ -1,0 +1,150 @@
+#include "src/soc/address_space.h"
+
+#include "src/soc/log.h"
+
+namespace dlt {
+
+bool AddressSpace::Overlaps(PhysAddr base, uint64_t size) const {
+  auto hit = [&](PhysAddr b, uint64_t s) { return base < b + s && b < base + size; };
+  for (const auto& w : ram_) {
+    if (hit(w.base, w.size)) {
+      return true;
+    }
+  }
+  for (const auto& w : mmio_) {
+    if (hit(w.base, w.size)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status AddressSpace::AddRam(PhysAddr base, uint64_t size) {
+  if (size == 0 || Overlaps(base, size)) {
+    return Status::kInvalidArg;
+  }
+  RamWindow w;
+  w.base = base;
+  w.size = size;
+  w.bytes = std::make_unique<uint8_t[]>(size);
+  std::memset(w.bytes.get(), 0, size);
+  ram_.push_back(std::move(w));
+  return Status::kOk;
+}
+
+Status AddressSpace::MapMmio(PhysAddr base, uint64_t size, MmioDevice* dev) {
+  if (size == 0 || dev == nullptr || Overlaps(base, size)) {
+    return Status::kInvalidArg;
+  }
+  mmio_.push_back(MmioWindow{base, size, dev});
+  return Status::kOk;
+}
+
+AddressSpace::RamWindow* AddressSpace::RamAt(PhysAddr a, uint64_t size) {
+  for (auto& w : ram_) {
+    if (a >= w.base && a + size <= w.base + w.size) {
+      return &w;
+    }
+  }
+  return nullptr;
+}
+
+MmioDevice* AddressSpace::DeviceAt(PhysAddr a, uint64_t* offset_out) const {
+  for (const auto& w : mmio_) {
+    if (a >= w.base && a < w.base + w.size) {
+      if (offset_out != nullptr) {
+        *offset_out = a - w.base;
+      }
+      return w.dev;
+    }
+  }
+  return nullptr;
+}
+
+Result<uint32_t> AddressSpace::Read32(World w, PhysAddr a) {
+  if (tzasc_ != nullptr && !tzasc_->Allows(w, a)) {
+    return Status::kPermissionDenied;
+  }
+  uint64_t off = 0;
+  if (MmioDevice* dev = DeviceAt(a, &off); dev != nullptr) {
+    if ((a & 3) != 0) {
+      return Status::kInvalidArg;
+    }
+    ++mmio_accesses_;
+    return dev->MmioRead32(off);
+  }
+  if (RamWindow* ram = RamAt(a, 4); ram != nullptr) {
+    uint32_t v = 0;
+    std::memcpy(&v, ram->bytes.get() + (a - ram->base), 4);
+    return v;
+  }
+  return Status::kOutOfRange;
+}
+
+Status AddressSpace::Write32(World w, PhysAddr a, uint32_t v) {
+  if (tzasc_ != nullptr && !tzasc_->Allows(w, a)) {
+    return Status::kPermissionDenied;
+  }
+  uint64_t off = 0;
+  if (MmioDevice* dev = DeviceAt(a, &off); dev != nullptr) {
+    if ((a & 3) != 0) {
+      return Status::kInvalidArg;
+    }
+    ++mmio_accesses_;
+    dev->MmioWrite32(off, v);
+    return Status::kOk;
+  }
+  if (RamWindow* ram = RamAt(a, 4); ram != nullptr) {
+    std::memcpy(ram->bytes.get() + (a - ram->base), &v, 4);
+    return Status::kOk;
+  }
+  return Status::kOutOfRange;
+}
+
+Status AddressSpace::ReadBytes(World w, PhysAddr a, void* dst, size_t n) {
+  if (tzasc_ != nullptr && !(tzasc_->Allows(w, a) && tzasc_->Allows(w, a + n - 1))) {
+    return Status::kPermissionDenied;
+  }
+  if (RamWindow* ram = RamAt(a, n); ram != nullptr) {
+    std::memcpy(dst, ram->bytes.get() + (a - ram->base), n);
+    return Status::kOk;
+  }
+  return Status::kOutOfRange;
+}
+
+Status AddressSpace::WriteBytes(World w, PhysAddr a, const void* src, size_t n) {
+  if (tzasc_ != nullptr && !(tzasc_->Allows(w, a) && tzasc_->Allows(w, a + n - 1))) {
+    return Status::kPermissionDenied;
+  }
+  if (RamWindow* ram = RamAt(a, n); ram != nullptr) {
+    std::memcpy(ram->bytes.get() + (a - ram->base), src, n);
+    return Status::kOk;
+  }
+  return Status::kOutOfRange;
+}
+
+uint8_t* AddressSpace::RamPtr(PhysAddr a, uint64_t size) {
+  RamWindow* ram = RamAt(a, size);
+  if (ram == nullptr) {
+    return nullptr;
+  }
+  return ram->bytes.get() + (a - ram->base);
+}
+
+Status AddressSpace::DmaRead(PhysAddr a, void* dst, size_t n) {
+  if (RamWindow* ram = RamAt(a, n); ram != nullptr) {
+    std::memcpy(dst, ram->bytes.get() + (a - ram->base), n);
+    return Status::kOk;
+  }
+  return Status::kOutOfRange;
+}
+
+Status AddressSpace::DmaWrite(PhysAddr a, const void* src, size_t n) {
+  if (RamWindow* ram = RamAt(a, n); ram != nullptr) {
+    std::memcpy(ram->bytes.get() + (a - ram->base), src, n);
+    return Status::kOk;
+  }
+  return Status::kOutOfRange;
+}
+
+}  // namespace dlt

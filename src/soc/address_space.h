@@ -1,0 +1,71 @@
+// The SoC physical address space: RAM windows plus MMIO regions routed to devices.
+// CPU accesses carry a World and are checked against the TZASC; bus-master (device
+// DMA) accesses use RamPtr/DmaRead/DmaWrite and bypass world checks, matching the
+// paper's model where whole device instances are assigned to the TEE.
+#ifndef SRC_SOC_ADDRESS_SPACE_H_
+#define SRC_SOC_ADDRESS_SPACE_H_
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "src/soc/device.h"
+#include "src/soc/status.h"
+#include "src/soc/tzasc.h"
+#include "src/soc/types.h"
+
+namespace dlt {
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(Tzasc* tzasc) : tzasc_(tzasc) {}
+  AddressSpace(const AddressSpace&) = delete;
+  AddressSpace& operator=(const AddressSpace&) = delete;
+
+  Status AddRam(PhysAddr base, uint64_t size);
+  Status MapMmio(PhysAddr base, uint64_t size, MmioDevice* dev);
+
+  // CPU accesses (TZASC-checked). MMIO accesses must be 32-bit and aligned.
+  Result<uint32_t> Read32(World w, PhysAddr a);
+  Status Write32(World w, PhysAddr a, uint32_t v);
+  Status ReadBytes(World w, PhysAddr a, void* dst, size_t n);
+  Status WriteBytes(World w, PhysAddr a, const void* src, size_t n);
+
+  // Bus-master access to RAM. Returns nullptr when [a, a+size) is not fully
+  // RAM-backed. The returned pointer stays valid for the AddressSpace lifetime.
+  uint8_t* RamPtr(PhysAddr a, uint64_t size);
+
+  // Bus-master byte copies (used by the DMA engine). Fail on non-RAM targets.
+  Status DmaRead(PhysAddr a, void* dst, size_t n);
+  Status DmaWrite(PhysAddr a, const void* src, size_t n);
+
+  // Returns the device mapped at |a| (if any) and its register offset.
+  MmioDevice* DeviceAt(PhysAddr a, uint64_t* offset_out) const;
+
+  uint64_t mmio_access_count() const { return mmio_accesses_; }
+  Tzasc* tzasc() const { return tzasc_; }
+
+ private:
+  struct RamWindow {
+    PhysAddr base;
+    uint64_t size;
+    std::unique_ptr<uint8_t[]> bytes;
+  };
+  struct MmioWindow {
+    PhysAddr base;
+    uint64_t size;
+    MmioDevice* dev;
+  };
+
+  RamWindow* RamAt(PhysAddr a, uint64_t size);
+  bool Overlaps(PhysAddr base, uint64_t size) const;
+
+  Tzasc* tzasc_;
+  std::vector<RamWindow> ram_;
+  std::vector<MmioWindow> mmio_;
+  uint64_t mmio_accesses_ = 0;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_ADDRESS_SPACE_H_

@@ -1,0 +1,41 @@
+// Interfaces implemented by simulated IO devices.
+#ifndef SRC_SOC_DEVICE_H_
+#define SRC_SOC_DEVICE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/soc/types.h"
+
+namespace dlt {
+
+// A device with a 32-bit MMIO register window. Offsets are relative to the
+// device's mapped base and 4-byte aligned.
+class MmioDevice {
+ public:
+  virtual ~MmioDevice() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual uint32_t MmioRead32(uint64_t offset) = 0;
+  virtual void MmioWrite32(uint64_t offset, uint32_t value) = 0;
+
+  // Returns the device to a clean-slate state "as if it just finished
+  // initialization in the boot up process" (paper §5, Resetting device states).
+  // In-flight jobs are dropped; persistent media content is preserved.
+  virtual void SoftReset() = 0;
+};
+
+// A peripheral data port that a DMA engine can pace against (DREQ). The bcm2835
+// system DMA moves MMC block data by addressing the controller's data FIFO.
+class DmaDataPort {
+ public:
+  virtual ~DmaDataPort() = default;
+  // Device -> memory. Returns bytes produced (may be < n if the FIFO underruns).
+  virtual size_t DmaPull(void* dst, size_t n) = 0;
+  // Memory -> device. Returns bytes consumed.
+  virtual size_t DmaPush(const void* src, size_t n) = 0;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_DEVICE_H_

@@ -1,0 +1,56 @@
+#include "src/soc/irq.h"
+
+#include <cstddef>
+
+namespace dlt {
+
+void InterruptController::Raise(int line) {
+  if (!ValidLine(line)) {
+    return;
+  }
+  bool was_pending = Pending(line);
+  if (line < 64) {
+    pending_mask_ |= (uint64_t{1} << line);
+  } else {
+    pending_hi_ |= (uint32_t{1} << (line - 64));
+  }
+  if (!was_pending) {
+    ++raise_counts_[static_cast<size_t>(line)];
+  }
+}
+
+void InterruptController::Clear(int line) {
+  if (!ValidLine(line)) {
+    return;
+  }
+  if (line < 64) {
+    pending_mask_ &= ~(uint64_t{1} << line);
+  } else {
+    pending_hi_ &= ~(uint32_t{1} << (line - 64));
+  }
+}
+
+bool InterruptController::Pending(int line) const {
+  if (!ValidLine(line)) {
+    return false;
+  }
+  if (line < 64) {
+    return (pending_mask_ >> line) & 1;
+  }
+  return (pending_hi_ >> (line - 64)) & 1;
+}
+
+uint64_t InterruptController::raise_count(int line) const {
+  if (!ValidLine(line)) {
+    return 0;
+  }
+  return raise_counts_[static_cast<size_t>(line)];
+}
+
+void InterruptController::Reset() {
+  pending_mask_ = 0;
+  pending_hi_ = 0;
+  raise_counts_.fill(0);
+}
+
+}  // namespace dlt

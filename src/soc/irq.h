@@ -1,0 +1,36 @@
+// Level-triggered interrupt controller. Devices Raise() a line; drivers clear the
+// source in the device, then the device (or the driver via the controller) lowers it.
+#ifndef SRC_SOC_IRQ_H_
+#define SRC_SOC_IRQ_H_
+
+#include <array>
+#include <cstdint>
+
+namespace dlt {
+
+class InterruptController {
+ public:
+  static constexpr int kMaxLines = 96;
+
+  void Raise(int line);
+  void Clear(int line);
+  bool Pending(int line) const;
+  bool AnyPending() const { return pending_mask_ != 0 || pending_hi_ != 0; }
+
+  // Lifetime statistics: how many distinct Raise() edges a line has seen. The camera
+  // benchmarks use this to quantify IRQ coalescing (native) vs per-event IRQs (replay).
+  uint64_t raise_count(int line) const;
+
+  void Reset();
+
+ private:
+  bool ValidLine(int line) const { return line >= 0 && line < kMaxLines; }
+
+  uint64_t pending_mask_ = 0;  // lines 0..63
+  uint32_t pending_hi_ = 0;    // lines 64..95
+  std::array<uint64_t, kMaxLines> raise_counts_{};
+};
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_IRQ_H_

@@ -1,0 +1,51 @@
+// Central timing knobs for the simulation. Values are calibrated so that the
+// benchmark *shapes* match the paper's evaluation on RPi3 (EXPERIMENTS.md records
+// the calibration). All durations are in virtual microseconds unless noted.
+#ifndef SRC_SOC_LATENCY_MODEL_H_
+#define SRC_SOC_LATENCY_MODEL_H_
+
+#include <cstdint>
+
+namespace dlt {
+
+struct LatencyModel {
+  // Bus / interconnect.
+  uint64_t mmio_access_ns = 150;    // one device register read/write
+  uint64_t irq_delivery_us = 25;    // device raises -> waiter observes
+  uint64_t dma_setup_us = 6;        // DMA control-block fetch + channel start
+  uint64_t dma_per_kb_us = 2;       // DMA copy throughput (~500 MB/s)
+
+  // MMC controller + SD card.
+  uint64_t mmc_cmd_us = 85;            // command/response exchange on the MMC bus
+  uint64_t sd_read_block_us = 70;      // flash sense + bus transfer per 512 B sector
+  uint64_t sd_write_block_us = 130;    // flash program per 512 B sector
+  uint64_t sd_write_setup_us = 950;    // write command ramp-up (CMD24/25 busy)
+
+  // DWC2 USB host + mass storage.
+  uint64_t usb_xact_us = 110;        // per bulk transaction (CBW / CSW / data chunk)
+  uint64_t usb_data_per_kb_us = 24;  // bulk data throughput on the wire
+  uint64_t usb_flash_read_block_us = 70;
+  uint64_t usb_flash_write_block_us = 110;
+
+  // VC4 camera pipeline.
+  uint64_t cam_init_us = 1'850'000;      // firmware boot + sensor power + AWB settle
+  uint64_t cam_frame_base_us = 240'000;  // exposure + ISP at 720p, per frame
+  uint64_t cam_frame_per_kb_us = 820;    // extra ISP/encode per KB beyond the 720p frame
+  uint64_t vchiq_msg_us = 380;             // firmware handles one VCHIQ message
+  uint64_t cam_native_pipeline_us = 95'000;  // per-frame cost once the native driver
+                                             // streams with coalesced IRQs
+
+  // Software costs.
+  uint64_t kern_block_layer_us = 300;  // syscall + VFS + block layer, per request
+  uint64_t kern_sync_write_us = 2'400; // extra O_SYNC barrier cost per write request
+  uint64_t kern_wakeup_us = 45;        // completion -> task wakeup
+  uint64_t usb_sched_per_page_us = 95;  // native USB transfer scheduling per 4 KB page
+  uint64_t replay_event_ns = 800;       // replayer interpreter cost per event
+  uint64_t driver_cpu_us = 14;          // gold driver per-request CPU time
+  uint64_t world_switch_us = 11;        // SMC world switch (baselines that delegate IO)
+  uint64_t device_reset_us = 800;       // soft reset to clean-slate state
+};
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_LATENCY_MODEL_H_

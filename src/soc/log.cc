@@ -1,0 +1,45 @@
+#include "src/soc/log.h"
+
+#include <atomic>
+
+namespace dlt {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kTrace: return "T";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace log_internal {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace log_internal
+}  // namespace dlt

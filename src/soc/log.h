@@ -1,0 +1,48 @@
+// Minimal leveled logging. Quiet by default so tests/benches stay readable;
+// raise the level for debugging replays and device FSM traces.
+#ifndef SRC_SOC_LOG_H_
+#define SRC_SOC_LOG_H_
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace dlt {
+
+enum class LogLevel : int {
+  kError = 0,
+  kWarn = 1,
+  kInfo = 2,
+  kTrace = 3,
+};
+
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace log_internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define DLT_LOG(level)                                \
+  if (static_cast<int>(::dlt::LogLevel::level) <=     \
+      static_cast<int>(::dlt::GetLogLevel()))         \
+  ::dlt::log_internal::LogLine(::dlt::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_LOG_H_

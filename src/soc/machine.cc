@@ -1,0 +1,40 @@
+#include "src/soc/machine.h"
+
+namespace dlt {
+
+Machine::Machine() : mem_(&tzasc_) {
+  (void)mem_.AddRam(kRamBase, kRamSize);
+  dma_ = std::make_unique<DmaEngine>(&mem_, &clock_, &irq_, &latency_, kDmaIrqBase);
+  (void)AttachDevice(kDmaEngineBase, kDmaEngineSize, dma_.get());
+}
+
+Result<uint16_t> Machine::AttachDevice(PhysAddr base, uint64_t size, MmioDevice* dev) {
+  DLT_RETURN_IF_ERROR(mem_.MapMmio(base, size, dev));
+  uint16_t id = static_cast<uint16_t>(devices_.size());
+  devices_.push_back(DeviceEntry{id, base, size, dev});
+  return id;
+}
+
+Result<Machine::DeviceEntry> Machine::DeviceById(uint16_t id) const {
+  if (id >= devices_.size()) {
+    return Status::kNotFound;
+  }
+  return devices_[id];
+}
+
+Result<Machine::DeviceEntry> Machine::DeviceByName(std::string_view name) const {
+  for (const auto& e : devices_) {
+    if (e.dev->name() == name) {
+      return e;
+    }
+  }
+  return Status::kNotFound;
+}
+
+Status Machine::AssignToSecureWorld(uint16_t device_id) {
+  DLT_ASSIGN_OR_RETURN(DeviceEntry e, DeviceById(device_id));
+  tzasc_.AssignRegion(e.base, e.size, World::kSecure);
+  return Status::kOk;
+}
+
+}  // namespace dlt

@@ -1,0 +1,90 @@
+// Board assembly: clock + interrupt controller + TZASC + address space + system DMA
+// engine + a registry of attached devices. Mirrors the paper's RPi3 test platform
+// (Table 2) at the level of detail drivers and driverlets can observe.
+#ifndef SRC_SOC_MACHINE_H_
+#define SRC_SOC_MACHINE_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/soc/address_space.h"
+#include "src/soc/dma_engine.h"
+#include "src/soc/irq.h"
+#include "src/soc/latency_model.h"
+#include "src/soc/sim_clock.h"
+#include "src/soc/status.h"
+#include "src/soc/tzasc.h"
+
+namespace dlt {
+
+// Fixed board memory map (bcm2837-flavoured).
+inline constexpr PhysAddr kRamBase = 0x0000'0000;
+inline constexpr uint64_t kRamSize = 64ull << 20;  // 64 MB of simulated DRAM
+inline constexpr PhysAddr kDmaEngineBase = 0x3F00'7000;
+inline constexpr uint64_t kDmaEngineSize = 0x1000;
+inline constexpr int kDmaIrqBase = 16;
+inline constexpr PhysAddr kMailboxBase = 0x3F00'B800;
+inline constexpr uint64_t kMailboxSize = 0x100;
+inline constexpr int kMailboxIrq = 2;
+inline constexpr PhysAddr kMmcBase = 0x3F20'2000;
+inline constexpr uint64_t kMmcSize = 0x100;
+inline constexpr int kMmcIrq = 56;
+inline constexpr PhysAddr kUsbBase = 0x3F98'0000;
+inline constexpr uint64_t kUsbSize = 0x1'0000;
+inline constexpr int kUsbIrq = 9;
+inline constexpr PhysAddr kDisplayBase = 0x3F40'0000;
+inline constexpr uint64_t kDisplaySize = 0x100;
+inline constexpr int kDisplayIrq = 40;
+inline constexpr PhysAddr kTouchBase = 0x3F41'0000;
+inline constexpr uint64_t kTouchSize = 0x100;
+inline constexpr int kTouchIrq = 41;
+inline constexpr PhysAddr kUartBase = 0x3F20'1000;
+inline constexpr uint64_t kUartSize = 0x100;
+inline constexpr int kUartIrq = 57;
+
+class Machine {
+ public:
+  Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  SimClock& clock() { return clock_; }
+  InterruptController& irq() { return irq_; }
+  Tzasc& tzasc() { return tzasc_; }
+  AddressSpace& mem() { return mem_; }
+  DmaEngine& dma() { return *dma_; }
+  LatencyModel& latency() { return latency_; }
+  const LatencyModel& latency() const { return latency_; }
+
+  struct DeviceEntry {
+    uint16_t id;
+    PhysAddr base;
+    uint64_t size;
+    MmioDevice* dev;
+  };
+
+  // Maps |dev| at [base, base+size) and registers it under a stable numeric id
+  // used by interaction templates to name register interfaces.
+  Result<uint16_t> AttachDevice(PhysAddr base, uint64_t size, MmioDevice* dev);
+
+  const std::vector<DeviceEntry>& devices() const { return devices_; }
+  Result<DeviceEntry> DeviceById(uint16_t id) const;
+  Result<DeviceEntry> DeviceByName(std::string_view name) const;
+
+  // Assigns a device's MMIO window (and optionally extra RAM) to the secure world.
+  Status AssignToSecureWorld(uint16_t device_id);
+
+ private:
+  SimClock clock_;
+  InterruptController irq_;
+  Tzasc tzasc_;
+  AddressSpace mem_;
+  LatencyModel latency_;
+  std::unique_ptr<DmaEngine> dma_;
+  std::vector<DeviceEntry> devices_;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_MACHINE_H_

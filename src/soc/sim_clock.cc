@@ -1,0 +1,85 @@
+#include "src/soc/sim_clock.h"
+
+#include <algorithm>
+
+namespace dlt {
+
+SimClock::EventId SimClock::ScheduleAt(uint64_t t_us, std::function<void()> fn) {
+  EventId id = next_id_++;
+  uint64_t t = std::max(t_us, now_us_);
+  queue_.push(Entry{t, id, std::move(fn)});
+  ++live_events_;
+  return id;
+}
+
+bool SimClock::Cancel(EventId id) {
+  if (id == kInvalidEvent || id >= next_id_) {
+    return false;
+  }
+  if (Cancelled(id)) {
+    return false;
+  }
+  cancelled_.push_back(id);
+  if (live_events_ > 0) {
+    --live_events_;
+  }
+  return true;
+}
+
+bool SimClock::Cancelled(EventId id) const {
+  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+}
+
+void SimClock::Fire(Entry& e) {
+  now_us_ = e.t;
+  ++fired_;
+  if (live_events_ > 0) {
+    --live_events_;
+  }
+  auto fn = std::move(e.fn);
+  fn();
+}
+
+void SimClock::AdvanceTo(uint64_t t_us) {
+  if (t_us < now_us_) {
+    return;
+  }
+  while (!queue_.empty() && queue_.top().t <= t_us) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (Cancelled(e.id)) {
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), e.id));
+      continue;
+    }
+    Fire(e);
+  }
+  now_us_ = t_us;
+}
+
+std::optional<uint64_t> SimClock::NextEventTime() {
+  while (!queue_.empty() && Cancelled(queue_.top().id)) {
+    EventId id = queue_.top().id;
+    queue_.pop();
+    cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), id));
+  }
+  if (queue_.empty()) {
+    return std::nullopt;
+  }
+  return queue_.top().t;
+}
+
+bool SimClock::StepToNextEvent() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (Cancelled(e.id)) {
+      cancelled_.erase(std::find(cancelled_.begin(), cancelled_.end(), e.id));
+      continue;
+    }
+    Fire(e);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dlt

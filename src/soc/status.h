@@ -1,0 +1,107 @@
+// Status codes and a small Result<T> — the error-handling idiom used across the
+// library (no exceptions across library boundaries).
+#ifndef SRC_SOC_STATUS_H_
+#define SRC_SOC_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+namespace dlt {
+
+enum class Status : int {
+  kOk = 0,
+  kTimeout,           // wait_for_irq / poll deadline exceeded
+  kDiverged,          // replay observed a state-changing event mismatching the recording
+  kInvalidArg,
+  kNotFound,
+  kNoTemplate,        // no interaction template covers the requested input (paper §5)
+  kPermissionDenied,  // TZASC world check failed
+  kIoError,           // device-reported error (CRC, sense, ...)
+  kBadState,
+  kOutOfRange,
+  kCorrupt,           // package signature / framing mismatch
+  kUnsupported,
+  kNoMemory,
+  kAborted,           // gave up after bounded divergence retries
+};
+
+inline const char* StatusName(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kTimeout: return "timeout";
+    case Status::kDiverged: return "diverged";
+    case Status::kInvalidArg: return "invalid-arg";
+    case Status::kNotFound: return "not-found";
+    case Status::kNoTemplate: return "no-template";
+    case Status::kPermissionDenied: return "permission-denied";
+    case Status::kIoError: return "io-error";
+    case Status::kBadState: return "bad-state";
+    case Status::kOutOfRange: return "out-of-range";
+    case Status::kCorrupt: return "corrupt";
+    case Status::kUnsupported: return "unsupported";
+    case Status::kNoMemory: return "no-memory";
+    case Status::kAborted: return "aborted";
+  }
+  return "unknown";
+}
+
+inline bool Ok(Status s) { return s == Status::kOk; }
+
+// A value-or-status holder, in the spirit of zx::result.
+template <typename T>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): mirrors zx::result ergonomics.
+  Result(Status s) : status_(s) { assert(s != Status::kOk); }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : status_(Status::kOk), value_(std::move(value)) {}
+
+  bool ok() const { return status_ == Status::kOk; }
+  Status status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T value_or(T fallback) const { return ok() ? *value_ : std::move(fallback); }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagate-on-error helpers.
+#define DLT_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::dlt::Status dlt_status_ = (expr);      \
+    if (dlt_status_ != ::dlt::Status::kOk) { \
+      return dlt_status_;                    \
+    }                                        \
+  } while (0)
+
+#define DLT_CONCAT_INNER(a, b) a##b
+#define DLT_CONCAT(a, b) DLT_CONCAT_INNER(a, b)
+
+#define DLT_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
+  lhs = std::move(tmp.value())
+
+#define DLT_ASSIGN_OR_RETURN(lhs, expr) \
+  DLT_ASSIGN_OR_RETURN_IMPL(DLT_CONCAT(dlt_result_, __LINE__), lhs, expr)
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_STATUS_H_

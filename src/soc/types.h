@@ -1,0 +1,32 @@
+// Basic types shared across the driverlets codebase.
+#ifndef SRC_SOC_TYPES_H_
+#define SRC_SOC_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dlt {
+
+// Physical address on the simulated SoC bus.
+using PhysAddr = uint64_t;
+
+// TrustZone security world of a bus master.
+enum class World : uint8_t {
+  kNormal = 0,
+  kSecure = 1,
+};
+
+inline const char* WorldName(World w) { return w == World::kSecure ? "secure" : "normal"; }
+
+// Source location attached to recorded events so replay failures can report the
+// originating line in the gold driver (paper §4.1, §5 "reporting their recording sites").
+struct SourceLoc {
+  const char* file = "";
+  int line = 0;
+};
+
+#define DLT_HERE (::dlt::SourceLoc{__FILE__, __LINE__})
+
+}  // namespace dlt
+
+#endif  // SRC_SOC_TYPES_H_

@@ -1,0 +1,30 @@
+#include "src/soc/tzasc.h"
+
+namespace dlt {
+
+void Tzasc::AssignRegion(PhysAddr base, uint64_t size, World owner) {
+  regions_.push_back(Region{base, size, owner});
+}
+
+World Tzasc::OwnerOf(PhysAddr addr) const {
+  // Scan back-to-front so later assignments override earlier ones.
+  for (auto it = regions_.rbegin(); it != regions_.rend(); ++it) {
+    if (addr >= it->base && addr < it->base + it->size) {
+      return it->owner;
+    }
+  }
+  return World::kNormal;
+}
+
+bool Tzasc::Allows(World accessor, PhysAddr addr) const {
+  if (accessor == World::kSecure) {
+    return true;
+  }
+  bool ok = OwnerOf(addr) == World::kNormal;
+  if (!ok) {
+    NoteDenied();
+  }
+  return ok;
+}
+
+}  // namespace dlt

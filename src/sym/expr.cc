@@ -1,0 +1,312 @@
+#include "src/sym/expr.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace dlt {
+
+namespace {
+
+Result<uint64_t> Apply(ExprOp op, uint64_t a, uint64_t b) {
+  switch (op) {
+    case ExprOp::kAnd: return a & b;
+    case ExprOp::kOr: return a | b;
+    case ExprOp::kXor: return a ^ b;
+    case ExprOp::kShl: return b >= 64 ? uint64_t{0} : (a << b);
+    case ExprOp::kShr: return b >= 64 ? uint64_t{0} : (a >> b);
+    case ExprOp::kAdd: return a + b;
+    case ExprOp::kSub: return a - b;
+    case ExprOp::kMul: return a * b;
+    case ExprOp::kDiv: return b == 0 ? Result<uint64_t>(Status::kInvalidArg) : Result<uint64_t>(a / b);
+    case ExprOp::kMod: return b == 0 ? Result<uint64_t>(Status::kInvalidArg) : Result<uint64_t>(a % b);
+    default: return Status::kInvalidArg;
+  }
+}
+
+}  // namespace
+
+const char* ExprOpToken(ExprOp op) {
+  switch (op) {
+    case ExprOp::kAnd: return "&";
+    case ExprOp::kOr: return "|";
+    case ExprOp::kXor: return "^";
+    case ExprOp::kShl: return "<<";
+    case ExprOp::kShr: return ">>";
+    case ExprOp::kAdd: return "+";
+    case ExprOp::kSub: return "-";
+    case ExprOp::kMul: return "*";
+    case ExprOp::kDiv: return "/";
+    case ExprOp::kMod: return "%";
+    case ExprOp::kNot: return "~";
+    case ExprOp::kConst: return "<const>";
+    case ExprOp::kInput: return "<input>";
+  }
+  return "?";
+}
+
+ExprRef Expr::Const(uint64_t v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = ExprOp::kConst;
+  e->constant_ = v;
+  return e;
+}
+
+ExprRef Expr::Input(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = ExprOp::kInput;
+  e->input_name_ = std::move(name);
+  return e;
+}
+
+ExprRef Expr::Binary(ExprOp op, ExprRef lhs, ExprRef rhs) {
+  if (lhs == nullptr || rhs == nullptr) {
+    return nullptr;
+  }
+  if (lhs->is_const() && rhs->is_const()) {
+    Result<uint64_t> folded = Apply(op, lhs->constant_, rhs->constant_);
+    if (folded.ok()) {
+      return Const(*folded);
+    }
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprRef Expr::Not(ExprRef operand) {
+  if (operand == nullptr) {
+    return nullptr;
+  }
+  if (operand->is_const()) {
+    return Const(~operand->constant_);
+  }
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->op_ = ExprOp::kNot;
+  e->lhs_ = std::move(operand);
+  return e;
+}
+
+Result<uint64_t> Expr::Eval(const Bindings& bindings) const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return constant_;
+    case ExprOp::kInput: {
+      auto it = bindings.find(input_name_);
+      if (it == bindings.end()) {
+        return Status::kNotFound;
+      }
+      return it->second;
+    }
+    case ExprOp::kNot: {
+      DLT_ASSIGN_OR_RETURN(uint64_t v, lhs_->Eval(bindings));
+      return ~v;
+    }
+    default: {
+      DLT_ASSIGN_OR_RETURN(uint64_t a, lhs_->Eval(bindings));
+      DLT_ASSIGN_OR_RETURN(uint64_t b, rhs_->Eval(bindings));
+      return Apply(op_, a, b);
+    }
+  }
+}
+
+void Expr::CollectInputs(std::set<std::string>* out) const {
+  switch (op_) {
+    case ExprOp::kConst:
+      return;
+    case ExprOp::kInput:
+      out->insert(input_name_);
+      return;
+    case ExprOp::kNot:
+      lhs_->CollectInputs(out);
+      return;
+    default:
+      lhs_->CollectInputs(out);
+      rhs_->CollectInputs(out);
+      return;
+  }
+}
+
+std::string Expr::ToString() const {
+  std::ostringstream os;
+  switch (op_) {
+    case ExprOp::kConst:
+      os << "0x" << std::hex << constant_;
+      break;
+    case ExprOp::kInput:
+      os << input_name_;
+      break;
+    case ExprOp::kNot:
+      os << "(~" << lhs_->ToString() << ")";
+      break;
+    default:
+      os << "(" << lhs_->ToString() << " " << ExprOpToken(op_) << " " << rhs_->ToString() << ")";
+      break;
+  }
+  return os.str();
+}
+
+bool Expr::Equal(const ExprRef& a, const ExprRef& b) {
+  if (a == b) {
+    return true;
+  }
+  if (a == nullptr || b == nullptr || a->op_ != b->op_) {
+    return false;
+  }
+  switch (a->op_) {
+    case ExprOp::kConst: return a->constant_ == b->constant_;
+    case ExprOp::kInput: return a->input_name_ == b->input_name_;
+    case ExprOp::kNot: return Equal(a->lhs_, b->lhs_);
+    default: return Equal(a->lhs_, b->lhs_) && Equal(a->rhs_, b->rhs_);
+  }
+}
+
+namespace {
+
+// Recursive-descent parser for the ToString() grammar.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ExprRef> ParseExpr() {
+    SkipWs();
+    if (Eof()) {
+      return Status::kCorrupt;
+    }
+    if (Peek() == '(') {
+      ++pos_;
+      SkipWs();
+      if (!Eof() && Peek() == '~') {
+        ++pos_;
+        DLT_ASSIGN_OR_RETURN(ExprRef inner, ParseExpr());
+        if (!Consume(')')) {
+          return Status::kCorrupt;
+        }
+        return Expr::Not(std::move(inner));
+      }
+      DLT_ASSIGN_OR_RETURN(ExprRef lhs, ParseExpr());
+      SkipWs();
+      DLT_ASSIGN_OR_RETURN(ExprOp op, ParseOp());
+      DLT_ASSIGN_OR_RETURN(ExprRef rhs, ParseExpr());
+      if (!Consume(')')) {
+        return Status::kCorrupt;
+      }
+      return Expr::Binary(op, std::move(lhs), std::move(rhs));
+    }
+    return ParseTerm();
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return Eof();
+  }
+
+ private:
+  bool Eof() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void SkipWs() {
+    while (!Eof() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+  bool Consume(char c) {
+    SkipWs();
+    if (Eof() || Peek() != c) {
+      return false;
+    }
+    ++pos_;
+    return true;
+  }
+
+  Result<ExprOp> ParseOp() {
+    SkipWs();
+    if (Eof()) {
+      return Status::kCorrupt;
+    }
+    char c = Peek();
+    switch (c) {
+      case '&': ++pos_; return ExprOp::kAnd;
+      case '|': ++pos_; return ExprOp::kOr;
+      case '^': ++pos_; return ExprOp::kXor;
+      case '+': ++pos_; return ExprOp::kAdd;
+      case '-': ++pos_; return ExprOp::kSub;
+      case '*': ++pos_; return ExprOp::kMul;
+      case '/': ++pos_; return ExprOp::kDiv;
+      case '%': ++pos_; return ExprOp::kMod;
+      case '<':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '<') {
+          pos_ += 2;
+          return ExprOp::kShl;
+        }
+        return Status::kCorrupt;
+      case '>':
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '>') {
+          pos_ += 2;
+          return ExprOp::kShr;
+        }
+        return Status::kCorrupt;
+      default:
+        return Status::kCorrupt;
+    }
+  }
+
+  Result<ExprRef> ParseTerm() {
+    SkipWs();
+    if (Eof()) {
+      return Status::kCorrupt;
+    }
+    char c = Peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      uint64_t v = 0;
+      if (c == '0' && pos_ + 1 < text_.size() && (text_[pos_ + 1] == 'x' || text_[pos_ + 1] == 'X')) {
+        pos_ += 2;
+        size_t digits = 0;
+        while (!Eof() && std::isxdigit(static_cast<unsigned char>(Peek()))) {
+          char d = Peek();
+          uint64_t nib = std::isdigit(static_cast<unsigned char>(d))
+                             ? static_cast<uint64_t>(d - '0')
+                             : static_cast<uint64_t>(std::tolower(d) - 'a' + 10);
+          v = (v << 4) | nib;
+          ++pos_;
+          ++digits;
+        }
+        if (digits == 0) {
+          return Status::kCorrupt;
+        }
+      } else {
+        while (!Eof() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          v = v * 10 + static_cast<uint64_t>(Peek() - '0');
+          ++pos_;
+        }
+      }
+      return Expr::Const(v);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (!Eof() && (std::isalnum(static_cast<unsigned char>(Peek())) || Peek() == '_' ||
+                        Peek() == '.')) {
+        name.push_back(Peek());
+        ++pos_;
+      }
+      return Expr::Input(std::move(name));
+    }
+    return Status::kCorrupt;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprRef> Expr::Parse(std::string_view text) {
+  Parser p(text);
+  DLT_ASSIGN_OR_RETURN(ExprRef e, p.ParseExpr());
+  if (!p.AtEnd()) {
+    return Status::kCorrupt;
+  }
+  return e;
+}
+
+}  // namespace dlt

@@ -1,0 +1,63 @@
+// TrimmedUartDriver: the paper's §2.2 contrast case. For a device this simple,
+// "developers may manually carve out only needed driver functions" — the whole
+// in-TEE driver is the ~50 lines below, no recording machinery required. The
+// same trim-down approach is what the paper shows to be impractical for
+// MMC/USB/VCHIQ (Table 8), which is where driverlets earn their keep.
+#ifndef SRC_TEE_TRIMMED_UART_H_
+#define SRC_TEE_TRIMMED_UART_H_
+
+#include <string_view>
+
+#include "src/dev/uart/uart_controller.h"
+#include "src/tee/secure_world.h"
+
+namespace dlt {
+
+class TrimmedUartDriver {
+ public:
+  TrimmedUartDriver(SecureWorld* tee, uint16_t uart_device)
+      : tee_(tee), device_(uart_device) {}
+
+  Status Putc(char c) {
+    // Spin while the transmit FIFO is full.
+    for (int spin = 0; spin < 10'000; ++spin) {
+      DLT_ASSIGN_OR_RETURN(uint32_t fr, tee_->RegRead32(device_, kUartFr));
+      if (!(fr & kUartFrTxFull)) {
+        return tee_->RegWrite32(device_, kUartDr, static_cast<uint8_t>(c));
+      }
+      tee_->DelayUs(50);
+    }
+    return Status::kTimeout;
+  }
+
+  Status Puts(std::string_view s) {
+    for (char c : s) {
+      DLT_RETURN_IF_ERROR(Putc(c));
+    }
+    return Status::kOk;
+  }
+
+  Result<char> Getc(uint64_t timeout_us = 1'000'000) {
+    uint64_t waited = 0;
+    while (true) {
+      DLT_ASSIGN_OR_RETURN(uint32_t fr, tee_->RegRead32(device_, kUartFr));
+      if (!(fr & kUartFrRxEmpty)) {
+        DLT_ASSIGN_OR_RETURN(uint32_t dr, tee_->RegRead32(device_, kUartDr));
+        return static_cast<char>(dr & 0xff);
+      }
+      if (waited >= timeout_us) {
+        return Status::kTimeout;
+      }
+      tee_->DelayUs(100);
+      waited += 100;
+    }
+  }
+
+ private:
+  SecureWorld* tee_;
+  uint16_t device_;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_TEE_TRIMMED_UART_H_

@@ -1,0 +1,58 @@
+// Delegation baseline from the paper's related work: lacking in-TEE storage
+// drivers, "the trustlets delegate IO to OS [24, 28, 46]" — every request pays
+// two world switches (SMC to the OS and back) plus marshalling through shared
+// memory, and the normal-world OS observes every plaintext byte (which is what
+// driverlets exist to prevent). bench/delegation_baseline quantifies both.
+#ifndef SRC_WORKLOAD_DELEGATED_BLOCK_DEVICE_H_
+#define SRC_WORKLOAD_DELEGATED_BLOCK_DEVICE_H_
+
+#include "src/kern/block_layer.h"
+
+namespace dlt {
+
+class DelegatedBlockDevice : public BlockDevice {
+ public:
+  // |os_side| is the normal-world storage path (page cache over a gold driver).
+  DelegatedBlockDevice(BlockDevice* os_side, Machine* machine)
+      : os_side_(os_side), machine_(machine) {}
+
+  Status Read(uint64_t lba, uint32_t count, uint8_t* out) override {
+    ChargeCrossing(count);
+    DLT_RETURN_IF_ERROR(os_side_->Read(lba, count, out));
+    exposed_bytes_ += static_cast<uint64_t>(count) * 512;
+    ++ops_;
+    return Status::kOk;
+  }
+
+  Status Write(uint64_t lba, uint32_t count, const uint8_t* data) override {
+    ChargeCrossing(count);
+    DLT_RETURN_IF_ERROR(os_side_->Write(lba, count, data));
+    exposed_bytes_ += static_cast<uint64_t>(count) * 512;
+    ++ops_;
+    return Status::kOk;
+  }
+
+  Status Flush() override { return os_side_->Flush(); }
+  uint64_t io_ops() const override { return ops_; }
+
+  // Plaintext bytes the untrusted OS observed — the security cost of
+  // delegation; a driverlet path keeps this at zero.
+  uint64_t exposed_bytes() const { return exposed_bytes_; }
+
+ private:
+  void ChargeCrossing(uint32_t count) {
+    const LatencyModel& lat = machine_->latency();
+    // SMC into the OS, marshal the payload through the shared buffer, SMC back.
+    uint64_t marshal_us = (static_cast<uint64_t>(count) * 512) / 2048;  // ~2 GB/s memcpy
+    machine_->clock().Advance(2 * lat.world_switch_us + marshal_us + lat.kern_wakeup_us);
+  }
+
+  BlockDevice* os_side_;
+  Machine* machine_;
+  uint64_t ops_ = 0;
+  uint64_t exposed_bytes_ = 0;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_WORKLOAD_DELEGATED_BLOCK_DEVICE_H_

@@ -1,0 +1,94 @@
+// MiniDb: a small embedded database standing in for SQLite in the paper's
+// storage benchmarks (§7.3.1). Provides a journaled pager over a BlockDevice
+// (4 KB pages = 8 sectors, matching the block-layer alignment the templates
+// encode), a heap table of keyed records, and an ISAM-style two-level index.
+// The six Table 9 scripts run on top of this engine.
+#ifndef SRC_WORKLOAD_MINIDB_H_
+#define SRC_WORKLOAD_MINIDB_H_
+
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/kern/block_layer.h"
+
+namespace dlt {
+
+class Pager {
+ public:
+  static constexpr uint32_t kPageSize = 4096;
+  static constexpr uint32_t kSectorsPerPage = kPageSize / 512;
+  static constexpr uint32_t kJournalHeaderPage = 1;
+  static constexpr uint32_t kJournalSlots = 64;
+  static constexpr uint32_t kFirstDataPage = 2 + kJournalSlots;
+
+  Pager(BlockDevice* dev, uint32_t max_pages, size_t cache_pages = 12)
+      : dev_(dev), max_pages_(max_pages), cache_capacity_(cache_pages) {}
+
+  Result<uint8_t*> GetPage(uint32_t pgno);
+  // Journals the page's pre-image on first modification in the transaction.
+  Result<uint8_t*> GetPageForWrite(uint32_t pgno);
+  Result<uint32_t> AllocatePage();
+
+  Status BeginTxn();
+  Status CommitTxn();  // write journal, flush dirty pages, clear journal
+
+  uint32_t allocated_pages() const { return next_page_; }
+  void set_next_page(uint32_t p) { next_page_ = p; }
+
+ private:
+  struct CachedPage {
+    std::vector<uint8_t> data;
+    bool dirty = false;
+  };
+
+  Status Evict();
+
+  BlockDevice* dev_;
+  uint32_t max_pages_;
+  size_t cache_capacity_;
+  uint32_t next_page_ = kFirstDataPage;
+  std::map<uint32_t, CachedPage> cache_;
+  std::list<uint32_t> lru_;
+  bool in_txn_ = false;
+  std::vector<uint32_t> journaled_;  // pages with a pre-image this txn
+};
+
+class MiniDb {
+ public:
+  explicit MiniDb(BlockDevice* dev, uint32_t max_pages = 4096);
+
+  Status Open();  // formats an empty database
+
+  Status Insert(uint64_t key, const void* payload, size_t len);
+  // Point lookup through the index.
+  Result<std::vector<uint8_t>> Lookup(uint64_t key);
+  // Range scan over the table heap; returns the number of matching records.
+  Result<size_t> Scan(uint64_t min_key, uint64_t max_key);
+  Status Delete(uint64_t key);
+  Status Update(uint64_t key, const void* payload, size_t len);
+  Status Commit() { return pager_.CommitTxn(); }
+
+  size_t row_count() const { return row_count_; }
+
+ private:
+  struct RecordAddr {
+    uint32_t page = 0;
+    uint16_t offset = 0;
+  };
+
+  Result<RecordAddr> IndexLookup(uint64_t key);
+  Status IndexInsert(uint64_t key, RecordAddr addr);
+  Status IndexRemove(uint64_t key);
+
+  Pager pager_;
+  uint32_t table_head_ = 0;   // first heap page
+  uint32_t table_tail_ = 0;
+  uint32_t index_head_ = 0;   // first index page (linked list of sorted runs)
+  size_t row_count_ = 0;
+  bool open_ = false;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_WORKLOAD_MINIDB_H_

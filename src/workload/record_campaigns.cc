@@ -1,0 +1,214 @@
+#include "src/workload/record_campaigns.h"
+
+#include <vector>
+
+#include "src/core/record_session.h"
+#include "src/soc/log.h"
+
+namespace dlt {
+
+namespace {
+
+// The sample block address used by record runs; any covered address works, the
+// templates generalize it (paper Fig. 2's "write 10 blocks at block address 42").
+constexpr uint64_t kSampleBlkId = 2048;
+
+void FillPattern(std::vector<uint8_t>* buf, uint64_t seed) {
+  for (size_t i = 0; i < buf->size(); ++i) {
+    (*buf)[i] = static_cast<uint8_t>((seed * 131 + i * 7) & 0xff);
+  }
+}
+
+}  // namespace
+
+Result<InteractionTemplate> RecordMmcRun(Rpi3Testbed* tb, const std::string& name, uint64_t rw,
+                                         uint64_t blkcnt, uint64_t blkid) {
+  // Constrain the device state space before every record run (paper §3.2).
+  tb->ResetDevices();
+  tb->kern_io().ReleaseDma();
+
+  RecordSession sess(&tb->kern_io(), kMmcEntry, name, tb->mmc_id());
+  TValue rw_v = sess.ScalarParam("rw", rw);
+  TValue cnt_v = sess.ScalarParam("blkcnt", blkcnt);
+  TValue id_v = sess.ScalarParam("blkid", blkid);
+  TValue flag_v = sess.ScalarParam("flag", 0);
+  std::vector<uint8_t> buf(blkcnt * 512);
+  FillPattern(&buf, blkid);
+  sess.BufferParam("buf", buf.data(), buf.size());
+
+  BcmSdhostDriver driver(&sess, tb->mmc_config());
+  Status s = driver.Transfer(rw_v, cnt_v, id_v, flag_v, buf.data(), buf.size());
+  if (!Ok(s)) {
+    DLT_LOG(kError) << "MMC record run " << name << " failed: " << StatusName(s);
+    return s;
+  }
+  return sess.Finish();
+}
+
+Result<InteractionTemplate> RecordUsbRun(Rpi3Testbed* tb, const std::string& name, uint64_t rw,
+                                         uint64_t blkcnt, uint64_t blkid) {
+  tb->ResetDevices();
+  tb->kern_io().ReleaseDma();
+
+  RecordSession sess(&tb->kern_io(), kUsbEntry, name, tb->usb_id());
+  TValue rw_v = sess.ScalarParam("rw", rw);
+  TValue cnt_v = sess.ScalarParam("blkcnt", blkcnt);
+  TValue id_v = sess.ScalarParam("blkid", blkid);
+  TValue flag_v = sess.ScalarParam("flag", 0);
+  std::vector<uint8_t> buf(blkcnt * 512);
+  FillPattern(&buf, blkid + 1);
+  sess.BufferParam("buf", buf.data(), buf.size());
+
+  Dwc2StorageDriver driver(&sess, tb->usb_config());
+  Status s = driver.Transfer(rw_v, cnt_v, id_v, flag_v, buf.data(), buf.size());
+  if (!Ok(s)) {
+    DLT_LOG(kError) << "USB record run " << name << " failed: " << StatusName(s);
+    return s;
+  }
+  return sess.Finish();
+}
+
+Result<InteractionTemplate> RecordCameraRun(Rpi3Testbed* tb, const std::string& name,
+                                            uint64_t frames, uint64_t resolution) {
+  tb->ResetDevices();
+  tb->kern_io().ReleaseDma();
+
+  RecordSession sess(&tb->kern_io(), kCameraEntry, name, tb->vchiq_id());
+  TValue frames_v = sess.ScalarParam("frame", frames);
+  TValue res_v = sess.ScalarParam("resolution", resolution);
+  uint64_t buf_size = Vc4Firmware::FrameBytes(1440) + 4096;  // covers every resolution
+  TValue buf_size_v = sess.ScalarParam("buf_size", buf_size);
+  std::vector<uint8_t> buf(buf_size);
+  sess.BufferParam("buf", buf.data(), buf.size());
+  std::vector<uint8_t> img_size(4);
+  sess.BufferParam("img_size", img_size.data(), img_size.size());
+
+  VchiqCameraDriver driver(&sess, tb->cam_config());
+  Status s = driver.Capture(frames_v, res_v, buf.data(), buf.size(), buf_size_v, img_size.data());
+  if (!Ok(s)) {
+    DLT_LOG(kError) << "camera record run " << name << " failed: " << StatusName(s);
+    return s;
+  }
+  return sess.Finish();
+}
+
+Result<InteractionTemplate> RecordDisplayRun(Rpi3Testbed* tb, const std::string& name, uint64_t x,
+                                             uint64_t y, uint64_t w, uint64_t h) {
+  tb->ResetDevices();
+  tb->kern_io().ReleaseDma();
+
+  RecordSession sess(&tb->kern_io(), kDisplayEntry, name, tb->display_id());
+  TValue x_v = sess.ScalarParam("x", x);
+  TValue y_v = sess.ScalarParam("y", y);
+  TValue w_v = sess.ScalarParam("w", w);
+  TValue h_v = sess.ScalarParam("h", h);
+  std::vector<uint8_t> buf(w * h * 4);
+  FillPattern(&buf, x ^ y);
+  sess.BufferParam("buf", buf.data(), buf.size());
+
+  DsiDisplayDriver driver(&sess, tb->display_config());
+  Status s = driver.Blit(x_v, y_v, w_v, h_v, buf.data(), buf.size());
+  if (!Ok(s)) {
+    DLT_LOG(kError) << "display record run " << name << " failed: " << StatusName(s);
+    return s;
+  }
+  return sess.Finish();
+}
+
+Result<RecordCampaign> RecordTouchCampaign(Rpi3Testbed* tb) {
+  RecordCampaign campaign("touch");
+  tb->ResetDevices();
+  tb->kern_io().ReleaseDma();
+  // The record run needs a user: inject a sample press shortly after the wait
+  // begins (the developer taps the panel during recording).
+  tb->touch().InjectTouch(400, 240, /*delay_us=*/3'000);
+  RecordSession sess(&tb->kern_io(), kTouchEntry, "Sample", tb->touch_id());
+  std::vector<uint8_t> evt(4);
+  sess.BufferParam("evt", evt.data(), evt.size());
+  TouchDriver driver(&sess, tb->touch_config());
+  Status s = driver.ReadEvent(evt.data());
+  if (!Ok(s)) {
+    DLT_LOG(kError) << "touch record run failed: " << StatusName(s);
+    return s;
+  }
+  DLT_ASSIGN_OR_RETURN(InteractionTemplate t, sess.Finish());
+  campaign.AddTemplate(std::move(t));
+  return campaign;
+}
+
+Result<RecordCampaign> RecordDisplayCampaign(Rpi3Testbed* tb) {
+  RecordCampaign campaign("display");
+  struct Run {
+    const char* name;
+    uint64_t x, y, w, h;
+  };
+  const Run kRuns[] = {
+      {"Banner", 0, 0, 800, 64},      // status/verification-code strip
+      {"Dialog", 200, 160, 400, 160}, // centered confirmation dialog
+      {"Icon", 736, 416, 64, 64},     // secure-indicator badge
+  };
+  for (const Run& run : kRuns) {
+    DLT_ASSIGN_OR_RETURN(InteractionTemplate t,
+                         RecordDisplayRun(tb, run.name, run.x, run.y, run.w, run.h));
+    bool kept = campaign.AddTemplate(std::move(t));
+    if (!kept) {
+      DLT_LOG(kInfo) << "display run " << run.name << " merged (same transition path)";
+    }
+  }
+  return campaign;
+}
+
+Result<RecordCampaign> RecordMmcCampaign(Rpi3Testbed* tb) {
+  RecordCampaign campaign("mmc");
+  const uint64_t kCounts[] = {1, 8, 32, 128, 256};
+  for (uint64_t count : kCounts) {
+    DLT_ASSIGN_OR_RETURN(
+        InteractionTemplate rd,
+        RecordMmcRun(tb, "RD_" + std::to_string(count), kMmcRwRead, count, kSampleBlkId));
+    campaign.AddTemplate(std::move(rd));
+    DLT_ASSIGN_OR_RETURN(
+        InteractionTemplate wr,
+        RecordMmcRun(tb, "WR_" + std::to_string(count), kMmcRwWrite, count, kSampleBlkId));
+    campaign.AddTemplate(std::move(wr));
+  }
+  return campaign;
+}
+
+Result<RecordCampaign> RecordUsbCampaign(Rpi3Testbed* tb) {
+  RecordCampaign campaign("usb");
+  const uint64_t kCounts[] = {1, 8, 32, 128, 256};
+  for (uint64_t count : kCounts) {
+    DLT_ASSIGN_OR_RETURN(
+        InteractionTemplate rd,
+        RecordUsbRun(tb, "RD_" + std::to_string(count), kMmcRwRead, count, kSampleBlkId));
+    campaign.AddTemplate(std::move(rd));
+    DLT_ASSIGN_OR_RETURN(
+        InteractionTemplate wr,
+        RecordUsbRun(tb, "WR_" + std::to_string(count), kMmcRwWrite, count, kSampleBlkId));
+    campaign.AddTemplate(std::move(wr));
+  }
+  return campaign;
+}
+
+Result<RecordCampaign> RecordCameraCampaign(Rpi3Testbed* tb) {
+  RecordCampaign campaign("camera");
+  struct Run {
+    const char* name;
+    uint64_t frames;
+  };
+  const Run kRuns[] = {{"OneShot", 1}, {"ShortBurst", 10}, {"LongBurst", 100}};
+  const uint64_t kResolutions[] = {720, 1080, 1440};
+  for (const Run& run : kRuns) {
+    for (uint64_t res : kResolutions) {
+      DLT_ASSIGN_OR_RETURN(InteractionTemplate t, RecordCameraRun(tb, run.name, run.frames, res));
+      bool kept = campaign.AddTemplate(std::move(t));
+      if (!kept) {
+        DLT_LOG(kInfo) << "camera run " << run.name << "@" << res
+                       << "p merged into an existing template (same transition path)";
+      }
+    }
+  }
+  return campaign;
+}
+
+}  // namespace dlt

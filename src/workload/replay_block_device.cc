@@ -1,0 +1,57 @@
+#include "src/workload/replay_block_device.h"
+
+#include "src/drv/bcm_sdhost_driver.h"
+
+namespace dlt {
+
+namespace {
+// Greedy chunking into the granularities the record campaign covered:
+// exactly 1, (1,8], (24,32], (120,128], (248,256] blocks.
+uint32_t PickChunk(uint32_t remaining) {
+  if (remaining >= 256) {
+    return 256;
+  }
+  if (remaining >= 128) {
+    return 128;
+  }
+  if (remaining >= 32) {
+    return 32;
+  }
+  if (remaining >= 8) {
+    return 8;
+  }
+  return remaining;  // 1..7, covered by the RW_1 / RW_8 templates
+}
+}  // namespace
+
+Status ReplayBlockDevice::DoOp(uint64_t rw, uint64_t lba, uint32_t count, uint8_t* buf) {
+  while (count > 0) {
+    uint32_t chunk = PickChunk(count);
+    ReplayArgs args;
+    args.scalars["rw"] = rw;
+    args.scalars["blkcnt"] = chunk;
+    args.scalars["blkid"] = lba;
+    args.scalars["flag"] = 0;
+    args.buffers["buf"] = BufferView{buf, static_cast<size_t>(chunk) * 512};
+    Result<ReplayStats> stats = replayer_->Invoke(entry_, args);
+    if (!stats.ok()) {
+      return stats.status();
+    }
+    ++invocations_[stats->template_name];
+    ++ops_;
+    lba += chunk;
+    buf += static_cast<size_t>(chunk) * 512;
+    count -= chunk;
+  }
+  return Status::kOk;
+}
+
+Status ReplayBlockDevice::Read(uint64_t lba, uint32_t count, uint8_t* out) {
+  return DoOp(kMmcRwRead, lba, count, out);
+}
+
+Status ReplayBlockDevice::Write(uint64_t lba, uint32_t count, const uint8_t* data) {
+  return DoOp(kMmcRwWrite, lba, count, const_cast<uint8_t*>(data));
+}
+
+}  // namespace dlt

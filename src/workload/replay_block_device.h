@@ -1,0 +1,39 @@
+// BlockDevice adapter over a driverlet Replayer: the storage path trustlets use
+// (paper §7.3.1: "the tests issue their disk accesses in TEE"). Requests are
+// split into chunks whose block counts the recorded templates cover; every
+// operation is synchronous — the overhead source the paper identifies (§7.3.2).
+#ifndef SRC_WORKLOAD_REPLAY_BLOCK_DEVICE_H_
+#define SRC_WORKLOAD_REPLAY_BLOCK_DEVICE_H_
+
+#include <string>
+
+#include "src/core/replayer.h"
+#include "src/kern/block_layer.h"
+
+namespace dlt {
+
+class ReplayBlockDevice : public BlockDevice {
+ public:
+  ReplayBlockDevice(Replayer* replayer, std::string entry)
+      : replayer_(replayer), entry_(std::move(entry)) {}
+
+  Status Read(uint64_t lba, uint32_t count, uint8_t* out) override;
+  Status Write(uint64_t lba, uint32_t count, const uint8_t* data) override;
+  Status Flush() override { return Status::kOk; }  // every write is synchronous
+  uint64_t io_ops() const override { return ops_; }
+
+  // Per-template invocation counts, for the Table 9 breakdown.
+  const std::map<std::string, uint64_t>& invocations() const { return invocations_; }
+
+ private:
+  Status DoOp(uint64_t rw, uint64_t lba, uint32_t count, uint8_t* buf);
+
+  Replayer* replayer_;
+  std::string entry_;
+  uint64_t ops_ = 0;
+  std::map<std::string, uint64_t> invocations_;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_WORKLOAD_REPLAY_BLOCK_DEVICE_H_

@@ -1,0 +1,116 @@
+#include "src/workload/sqlite_scripts.h"
+
+#include "src/soc/log.h"
+
+namespace dlt {
+
+namespace {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed | 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  uint64_t Below(uint64_t n) { return n == 0 ? 0 : Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+std::vector<uint8_t> MakePayload(uint64_t key, size_t len) {
+  std::vector<uint8_t> p(len);
+  for (size_t i = 0; i < len; ++i) {
+    p[i] = static_cast<uint8_t>((key * 31 + i) & 0xff);
+  }
+  return p;
+}
+
+constexpr size_t kPayloadLen = 100;
+
+}  // namespace
+
+Status PopulateDb(MiniDb* db, size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    uint64_t key = i + 1;
+    std::vector<uint8_t> payload = MakePayload(key, kPayloadLen);
+    DLT_RETURN_IF_ERROR(db->Insert(key, payload.data(), payload.size()));
+    if ((i + 1) % 16 == 0) {
+      DLT_RETURN_IF_ERROR(db->Commit());
+    }
+  }
+  return db->Commit();
+}
+
+Result<ScriptResult> RunSqliteScript(const std::string& name, MiniDb* db,
+                                     CountingBlockDevice* counter, SimClock* clock,
+                                     size_t queries, uint64_t seed) {
+  Rng rng(seed);
+  ScriptResult result;
+  result.name = name;
+  result.queries = queries;
+  uint64_t t0 = clock->now_us();
+  uint64_t ops0 = counter->io_ops();
+  uint64_t reads0 = counter->reads();
+  uint64_t writes0 = counter->writes();
+  size_t rows = db->row_count();
+  uint64_t next_key = 1'000'000 + seed % 1000;
+
+  for (size_t q = 0; q < queries; ++q) {
+    if (name == "select3") {
+      // Read-mostly: three point lookups per query.
+      for (int i = 0; i < 3; ++i) {
+        (void)db->Lookup(rng.Below(rows) + 1);
+      }
+    } else if (name == "delete") {
+      // Lookup then delete one row; committed per query.
+      uint64_t key = rng.Below(rows) + 1;
+      (void)db->Lookup(key);
+      (void)db->Delete(key);
+      DLT_RETURN_IF_ERROR(db->Commit());
+    } else if (name == "indexedby") {
+      // Indexed selects ("INDEXED BY" queries): five index lookups.
+      for (int i = 0; i < 5; ++i) {
+        (void)db->Lookup(rng.Below(rows) + 1);
+      }
+    } else if (name == "io") {
+      // Mixed IO: two lookups + one in-place update per query.
+      (void)db->Lookup(rng.Below(rows) + 1);
+      (void)db->Lookup(rng.Below(rows) + 1);
+      uint64_t key = rng.Below(rows) + 1;
+      std::vector<uint8_t> payload = MakePayload(key ^ q, kPayloadLen);
+      (void)db->Update(key, payload.data(), payload.size());
+      DLT_RETURN_IF_ERROR(db->Commit());
+    } else if (name == "selectG") {
+      // Grouped select: one range scan plus an aggregate row update.
+      uint64_t lo = rng.Below(rows) + 1;
+      (void)db->Scan(lo, lo + 64);
+      std::vector<uint8_t> payload = MakePayload(lo, kPayloadLen);
+      (void)db->Update(rng.Below(rows) + 1, payload.data(), payload.size());
+      DLT_RETURN_IF_ERROR(db->Commit());
+    } else if (name == "insert3") {
+      // Write-mostly: three inserts per query, committed.
+      for (int i = 0; i < 3; ++i) {
+        uint64_t key = next_key++;
+        std::vector<uint8_t> payload = MakePayload(key, kPayloadLen);
+        DLT_RETURN_IF_ERROR(db->Insert(key, payload.data(), payload.size()));
+      }
+      DLT_RETURN_IF_ERROR(db->Commit());
+    } else {
+      return Status::kInvalidArg;
+    }
+  }
+  DLT_RETURN_IF_ERROR(db->Commit());
+
+  result.elapsed_us = clock->now_us() - t0;
+  result.io_requests = counter->io_ops() - ops0;
+  result.reads = counter->reads() - reads0;
+  result.writes = counter->writes() - writes0;
+  return result;
+}
+
+}  // namespace dlt

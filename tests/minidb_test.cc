@@ -1,0 +1,194 @@
+// MiniDb (the SQLite stand-in) and kernel block-layer tests.
+#include <gtest/gtest.h>
+
+#include "src/workload/minidb.h"
+#include "src/workload/rpi3_testbed.h"
+#include "src/workload/sqlite_scripts.h"
+#include "tests/test_util.h"
+
+namespace dlt {
+namespace {
+
+TEST(MiniDbTest, InsertLookupRoundTrip) {
+  MemBlockDevice dev(1 << 20);
+  MiniDb db(&dev);
+  ASSERT_EQ(Status::kOk, db.Open());
+  std::string payload = "hello records";
+  ASSERT_EQ(Status::kOk, db.Insert(42, payload.data(), payload.size()));
+  ASSERT_EQ(Status::kOk, db.Commit());
+  Result<std::vector<uint8_t>> got = db.Lookup(42);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(payload, std::string(got->begin(), got->end()));
+  EXPECT_FALSE(db.Lookup(43).ok());
+}
+
+TEST(MiniDbTest, ManyRowsSpanPages) {
+  MemBlockDevice dev(1 << 20);
+  MiniDb db(&dev);
+  ASSERT_EQ(Status::kOk, db.Open());
+  ASSERT_EQ(Status::kOk, PopulateDb(&db, 500, 7));
+  EXPECT_EQ(500u, db.row_count());
+  for (uint64_t key : {1ull, 250ull, 500ull}) {
+    Result<std::vector<uint8_t>> got = db.Lookup(key);
+    ASSERT_TRUE(got.ok()) << key;
+    EXPECT_EQ(100u, got->size());
+  }
+  Result<size_t> n = db.Scan(100, 199);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(100u, *n);
+}
+
+TEST(MiniDbTest, DeleteRemovesRow) {
+  MemBlockDevice dev(1 << 20);
+  MiniDb db(&dev);
+  ASSERT_EQ(Status::kOk, db.Open());
+  ASSERT_EQ(Status::kOk, PopulateDb(&db, 50, 3));
+  ASSERT_EQ(Status::kOk, db.Delete(25));
+  ASSERT_EQ(Status::kOk, db.Commit());
+  EXPECT_FALSE(db.Lookup(25).ok());
+  EXPECT_EQ(49u, db.row_count());
+  Result<size_t> n = db.Scan(1, 50);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(49u, *n);
+}
+
+TEST(MiniDbTest, UpdateInPlaceAndResize) {
+  MemBlockDevice dev(1 << 20);
+  MiniDb db(&dev);
+  ASSERT_EQ(Status::kOk, db.Open());
+  std::string a = "0123456789";
+  ASSERT_EQ(Status::kOk, db.Insert(7, a.data(), a.size()));
+  std::string b = "abcdefghij";  // same length: in-place
+  ASSERT_EQ(Status::kOk, db.Update(7, b.data(), b.size()));
+  Result<std::vector<uint8_t>> got = db.Lookup(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(b, std::string(got->begin(), got->end()));
+  std::string c = "resized payload";  // different length: delete + reinsert
+  ASSERT_EQ(Status::kOk, db.Update(7, c.data(), c.size()));
+  got = db.Lookup(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(c, std::string(got->begin(), got->end()));
+  ASSERT_EQ(Status::kOk, db.Commit());
+}
+
+TEST(MiniDbTest, PersistsAcrossReopen) {
+  MemBlockDevice dev(1 << 20);
+  {
+    MiniDb db(&dev);
+    ASSERT_EQ(Status::kOk, db.Open());
+    std::string payload = "durable";
+    ASSERT_EQ(Status::kOk, db.Insert(9, payload.data(), payload.size()));
+    ASSERT_EQ(Status::kOk, db.Commit());
+  }
+  MiniDb db2(&dev);
+  ASSERT_EQ(Status::kOk, db2.Open());
+  EXPECT_EQ(1u, db2.row_count());
+  Result<std::vector<uint8_t>> got = db2.Lookup(9);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ("durable", std::string(got->begin(), got->end()));
+}
+
+TEST(MiniDbTest, CommitWritesJournalBeforeData) {
+  MemBlockDevice dev(1 << 20);
+  CountingBlockDevice counter(&dev);
+  MiniDb db(&counter);
+  ASSERT_EQ(Status::kOk, db.Open());
+  uint64_t writes_before = counter.writes();
+  std::string payload = "journaled";
+  ASSERT_EQ(Status::kOk, db.Insert(1, payload.data(), payload.size()));
+  ASSERT_EQ(Status::kOk, db.Commit());
+  // At least: journal header + pre-images + data pages + header clear.
+  EXPECT_GE(counter.writes() - writes_before, 4u);
+}
+
+class SqliteScriptTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SqliteScriptTest, RunsCleanlyOnMemoryDevice) {
+  MemBlockDevice dev(1 << 20);
+  CountingBlockDevice counter(&dev);
+  MiniDb db(&counter);
+  SimClock clock;
+  ASSERT_EQ(Status::kOk, db.Open());
+  ASSERT_EQ(Status::kOk, PopulateDb(&db, 600, 11));
+  Result<ScriptResult> r = RunSqliteScript(GetParam(), &db, &counter, &clock, 30, 99);
+  ASSERT_TRUE(r.ok()) << StatusName(r.status());
+  EXPECT_EQ(30u, r->queries);
+  EXPECT_GT(r->reads + r->writes, 0u);
+  // The script read/write mixes must be ordered like Table 9: select scripts
+  // read-most, insert3 write-most.
+  if (GetParam() == "select3" || GetParam() == "indexedby") {
+    EXPECT_EQ(0u, r->writes);
+  }
+  if (GetParam() == "insert3") {
+    EXPECT_GT(r->writes, r->reads);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScripts, SqliteScriptTest,
+                         ::testing::ValuesIn(SqliteScriptNames()));
+
+TEST(PageCacheTest, WritebackDefersDeviceWrites) {
+  Rpi3Testbed tb{TestbedOptions{}};
+  PageCacheBlockDevice cache(&tb.mmc_driver(), &tb.machine(),
+                             PageCacheBlockDevice::SyncMode::kWriteback);
+  std::vector<uint8_t> data = PatternBuf(8 * 512, 1);
+  ASSERT_EQ(Status::kOk, cache.Write(0, 8, data.data()));
+  EXPECT_EQ(0u, tb.sd_medium().sectors_written());  // still in the cache
+  ASSERT_EQ(Status::kOk, cache.Flush());
+  EXPECT_EQ(8u, tb.sd_medium().sectors_written());
+}
+
+TEST(PageCacheTest, SyncModeWritesThrough) {
+  Rpi3Testbed tb{TestbedOptions{}};
+  PageCacheBlockDevice cache(&tb.mmc_driver(), &tb.machine(),
+                             PageCacheBlockDevice::SyncMode::kSync);
+  std::vector<uint8_t> data = PatternBuf(8 * 512, 2);
+  ASSERT_EQ(Status::kOk, cache.Write(0, 8, data.data()));
+  EXPECT_EQ(8u, tb.sd_medium().sectors_written());
+}
+
+TEST(PageCacheTest, MergesAdjacentDirtyExtentsOnFlush) {
+  Rpi3Testbed tb{TestbedOptions{}};
+  PageCacheBlockDevice cache(&tb.mmc_driver(), &tb.machine(),
+                             PageCacheBlockDevice::SyncMode::kWriteback);
+  std::vector<uint8_t> data = PatternBuf(8 * 512, 3);
+  // 16 adjacent extents + 1 distant: must merge into few device requests.
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_EQ(Status::kOk, cache.Write(i * 8, 8, data.data()));
+  }
+  ASSERT_EQ(Status::kOk, cache.Write(4096, 8, data.data()));
+  uint64_t before = tb.mmc_driver().transfers();
+  ASSERT_EQ(Status::kOk, cache.Flush());
+  uint64_t requests = tb.mmc_driver().transfers() - before;
+  EXPECT_LE(requests, 2u);  // one merged 128-block write + one distant extent
+}
+
+TEST(PageCacheTest, ReadsHitCacheAfterMiss) {
+  Rpi3Testbed tb{TestbedOptions{}};
+  PageCacheBlockDevice cache(&tb.mmc_driver(), &tb.machine(),
+                             PageCacheBlockDevice::SyncMode::kWriteback);
+  std::vector<uint8_t> out(8 * 512);
+  ASSERT_EQ(Status::kOk, cache.Read(0, 8, out.data()));
+  ASSERT_EQ(Status::kOk, cache.Read(0, 8, out.data()));
+  EXPECT_EQ(1u, cache.cache_misses());
+  EXPECT_GE(cache.cache_hits(), 1u);
+}
+
+TEST(PageCacheTest, PartialWriteDoesReadModifyWrite) {
+  Rpi3Testbed tb{TestbedOptions{}};
+  // Seed the medium directly.
+  std::vector<uint8_t> seed = PatternBuf(8 * 512, 9);
+  ASSERT_EQ(Status::kOk, tb.sd_medium().Write(0, 8, seed.data()));
+  PageCacheBlockDevice cache(&tb.mmc_driver(), &tb.machine(),
+                             PageCacheBlockDevice::SyncMode::kSync);
+  std::vector<uint8_t> two = PatternBuf(2 * 512, 4);
+  ASSERT_EQ(Status::kOk, cache.Write(2, 2, two.data()));
+  std::vector<uint8_t> out(8 * 512);
+  ASSERT_EQ(Status::kOk, tb.sd_medium().Read(0, 8, out.data()));
+  EXPECT_TRUE(std::equal(seed.begin(), seed.begin() + 1024, out.begin()));
+  EXPECT_TRUE(std::equal(two.begin(), two.end(), out.begin() + 1024));
+  EXPECT_TRUE(std::equal(seed.begin() + 2048, seed.end(), out.begin() + 2048));
+}
+
+}  // namespace
+}  // namespace dlt

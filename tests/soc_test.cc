@@ -1,0 +1,253 @@
+// Unit tests for the SoC substrate: clock, interrupts, TZASC, address space,
+// DMA engine.
+#include <gtest/gtest.h>
+
+#include "src/soc/machine.h"
+
+namespace dlt {
+namespace {
+
+TEST(SimClockTest, AdvanceFiresDueEventsInOrder) {
+  SimClock clock;
+  std::vector<int> fired;
+  clock.ScheduleIn(10, [&] { fired.push_back(1); });
+  clock.ScheduleIn(5, [&] { fired.push_back(2); });
+  clock.ScheduleIn(20, [&] { fired.push_back(3); });
+  clock.Advance(15);
+  EXPECT_EQ((std::vector<int>{2, 1}), fired);
+  EXPECT_EQ(15u, clock.now_us());
+  clock.Advance(10);
+  EXPECT_EQ((std::vector<int>{2, 1, 3}), fired);
+}
+
+TEST(SimClockTest, SameDeadlineFiresInScheduleOrder) {
+  SimClock clock;
+  std::vector<int> fired;
+  clock.ScheduleIn(7, [&] { fired.push_back(1); });
+  clock.ScheduleIn(7, [&] { fired.push_back(2); });
+  clock.Advance(7);
+  EXPECT_EQ((std::vector<int>{1, 2}), fired);
+}
+
+TEST(SimClockTest, CancelPreventsFiring) {
+  SimClock clock;
+  bool fired = false;
+  SimClock::EventId id = clock.ScheduleIn(5, [&] { fired = true; });
+  EXPECT_TRUE(clock.Cancel(id));
+  EXPECT_FALSE(clock.Cancel(id));  // double-cancel reports failure
+  clock.Advance(10);
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimClockTest, CallbacksMayScheduleMoreEvents) {
+  SimClock clock;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) {
+      clock.ScheduleIn(1, chain);
+    }
+  };
+  clock.ScheduleIn(1, chain);
+  clock.Advance(100);
+  EXPECT_EQ(5, count);
+}
+
+TEST(SimClockTest, StepToNextEventJumps) {
+  SimClock clock;
+  bool fired = false;
+  clock.ScheduleIn(1000, [&] { fired = true; });
+  EXPECT_TRUE(clock.StepToNextEvent());
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(1000u, clock.now_us());
+  EXPECT_FALSE(clock.StepToNextEvent());
+}
+
+TEST(SimClockTest, NextEventTimeSkipsCancelled) {
+  SimClock clock;
+  SimClock::EventId a = clock.ScheduleIn(5, [] {});
+  clock.ScheduleIn(9, [] {});
+  clock.Cancel(a);
+  ASSERT_TRUE(clock.NextEventTime().has_value());
+  EXPECT_EQ(9u, *clock.NextEventTime());
+}
+
+TEST(IrqTest, RaiseClearPendingAndCounts) {
+  InterruptController irq;
+  EXPECT_FALSE(irq.Pending(5));
+  irq.Raise(5);
+  irq.Raise(5);  // still one level-triggered assertion
+  EXPECT_TRUE(irq.Pending(5));
+  EXPECT_EQ(1u, irq.raise_count(5));
+  irq.Clear(5);
+  EXPECT_FALSE(irq.Pending(5));
+  irq.Raise(5);
+  EXPECT_EQ(2u, irq.raise_count(5));
+}
+
+TEST(IrqTest, HighLinesWork) {
+  InterruptController irq;
+  irq.Raise(70);
+  EXPECT_TRUE(irq.Pending(70));
+  EXPECT_FALSE(irq.Pending(69));
+  irq.Clear(70);
+  EXPECT_FALSE(irq.Pending(70));
+}
+
+TEST(TzascTest, LaterAssignmentsOverride) {
+  Tzasc tz;
+  tz.AssignRegion(0x1000, 0x1000, World::kSecure);
+  EXPECT_EQ(World::kSecure, tz.OwnerOf(0x1800));
+  tz.AssignRegion(0x1800, 0x100, World::kNormal);
+  EXPECT_EQ(World::kNormal, tz.OwnerOf(0x1880));
+  EXPECT_EQ(World::kSecure, tz.OwnerOf(0x1000));
+}
+
+TEST(TzascTest, SecureAccessesEverythingNormalOnlyNormal) {
+  Tzasc tz;
+  tz.AssignRegion(0x2000, 0x1000, World::kSecure);
+  EXPECT_TRUE(tz.Allows(World::kSecure, 0x2000));
+  EXPECT_TRUE(tz.Allows(World::kSecure, 0x9000));
+  EXPECT_FALSE(tz.Allows(World::kNormal, 0x2000));
+  EXPECT_TRUE(tz.Allows(World::kNormal, 0x9000));
+  EXPECT_EQ(1u, tz.denied_count());
+}
+
+class ScratchDevice : public MmioDevice {
+ public:
+  std::string_view name() const override { return "scratch"; }
+  uint32_t MmioRead32(uint64_t offset) override { return static_cast<uint32_t>(offset + 1); }
+  void MmioWrite32(uint64_t offset, uint32_t value) override { last_ = {offset, value}; }
+  void SoftReset() override { last_ = {0, 0}; }
+  std::pair<uint64_t, uint32_t> last_{0, 0};
+};
+
+TEST(AddressSpaceTest, RamReadWriteRoundTrip) {
+  AddressSpace mem(nullptr);
+  ASSERT_EQ(Status::kOk, mem.AddRam(0, 0x10000));
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, 0x100, 0xdeadbeef));
+  Result<uint32_t> v = mem.Read32(World::kNormal, 0x100);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(0xdeadbeefu, *v);
+}
+
+TEST(AddressSpaceTest, MmioRoutesToDevice) {
+  AddressSpace mem(nullptr);
+  ScratchDevice dev;
+  ASSERT_EQ(Status::kOk, mem.MapMmio(0x4000, 0x100, &dev));
+  EXPECT_EQ(0x21u, *mem.Read32(World::kNormal, 0x4020));
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, 0x4024, 7));
+  EXPECT_EQ(0x24u, dev.last_.first);
+  EXPECT_EQ(7u, dev.last_.second);
+}
+
+TEST(AddressSpaceTest, OverlappingMappingsRejected) {
+  AddressSpace mem(nullptr);
+  ScratchDevice dev;
+  ASSERT_EQ(Status::kOk, mem.AddRam(0, 0x1000));
+  EXPECT_EQ(Status::kInvalidArg, mem.AddRam(0x800, 0x1000));
+  EXPECT_EQ(Status::kInvalidArg, mem.MapMmio(0xf00, 0x200, &dev));
+}
+
+TEST(AddressSpaceTest, UnalignedMmioRejected) {
+  AddressSpace mem(nullptr);
+  ScratchDevice dev;
+  ASSERT_EQ(Status::kOk, mem.MapMmio(0x4000, 0x100, &dev));
+  EXPECT_EQ(Status::kInvalidArg, mem.Read32(World::kNormal, 0x4002).status());
+}
+
+TEST(AddressSpaceTest, TzascChecksApplyToCpuAccess) {
+  Tzasc tz;
+  AddressSpace mem(&tz);
+  ASSERT_EQ(Status::kOk, mem.AddRam(0, 0x10000));
+  tz.AssignRegion(0x8000, 0x1000, World::kSecure);
+  EXPECT_EQ(Status::kPermissionDenied, mem.Write32(World::kNormal, 0x8000, 1));
+  EXPECT_EQ(Status::kOk, mem.Write32(World::kSecure, 0x8000, 1));
+  // Bus-master (DMA) paths are not world-checked.
+  uint32_t v = 0;
+  EXPECT_EQ(Status::kOk, mem.DmaRead(0x8000, &v, 4));
+  EXPECT_EQ(1u, v);
+}
+
+class MachineDmaTest : public ::testing::Test {
+ protected:
+  Machine machine_;
+};
+
+TEST_F(MachineDmaTest, MemToMemCopyViaControlBlock) {
+  auto& mem = machine_.mem();
+  const char* msg = "driverlets move data";
+  ASSERT_EQ(Status::kOk, mem.WriteBytes(World::kNormal, 0x1000, msg, 21));
+  DmaControlBlock cb{};
+  cb.ti = kDmaTiSrcInc | kDmaTiDestInc | kDmaTiIntEn;
+  cb.source_ad = 0x1000;
+  cb.dest_ad = 0x2000;
+  cb.txfr_len = 21;
+  cb.nextconbk = 0;
+  ASSERT_EQ(Status::kOk, mem.WriteBytes(World::kNormal, 0x3000, &cb, sizeof(cb)));
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, kDmaEngineBase + kDmaConblkAd, 0x3000));
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, kDmaEngineBase + kDmaCs, kDmaCsActive));
+  machine_.clock().Advance(1000);
+  char out[32] = {};
+  ASSERT_EQ(Status::kOk, mem.ReadBytes(World::kNormal, 0x2000, out, 21));
+  EXPECT_STREQ(msg, out);
+  uint32_t cs = *mem.Read32(World::kNormal, kDmaEngineBase + kDmaCs);
+  EXPECT_TRUE(cs & kDmaCsEnd);
+  EXPECT_TRUE(cs & kDmaCsInt);
+  EXPECT_TRUE(machine_.irq().Pending(kDmaIrqBase));
+  // Clearing INT lowers the line.
+  ASSERT_EQ(Status::kOk,
+            mem.Write32(World::kNormal, kDmaEngineBase + kDmaCs, kDmaCsEnd | kDmaCsInt));
+  EXPECT_FALSE(machine_.irq().Pending(kDmaIrqBase));
+}
+
+TEST_F(MachineDmaTest, ChainedControlBlocksAllExecute) {
+  auto& mem = machine_.mem();
+  for (int i = 0; i < 3; ++i) {
+    uint32_t v = 0x10 + static_cast<uint32_t>(i);
+    ASSERT_EQ(Status::kOk,
+              mem.Write32(World::kNormal, 0x1000 + static_cast<uint64_t>(i) * 0x100, v));
+    DmaControlBlock cb{};
+    cb.ti = kDmaTiSrcInc | kDmaTiDestInc | ((i == 2) ? kDmaTiIntEn : 0);
+    cb.source_ad = 0x1000 + static_cast<uint32_t>(i) * 0x100;
+    cb.dest_ad = 0x2000 + static_cast<uint32_t>(i) * 4;
+    cb.txfr_len = 4;
+    cb.nextconbk = (i == 2) ? 0 : 0x3000 + (static_cast<uint32_t>(i) + 1) * 32;
+    ASSERT_EQ(Status::kOk, mem.WriteBytes(World::kNormal, 0x3000 + static_cast<uint64_t>(i) * 32,
+                                          &cb, sizeof(cb)));
+  }
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, kDmaEngineBase + kDmaConblkAd, 0x3000));
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, kDmaEngineBase + kDmaCs, kDmaCsActive));
+  machine_.clock().Advance(1000);
+  EXPECT_EQ(0x10u, *mem.Read32(World::kNormal, 0x2000));
+  EXPECT_EQ(0x11u, *mem.Read32(World::kNormal, 0x2004));
+  EXPECT_EQ(0x12u, *mem.Read32(World::kNormal, 0x2008));
+}
+
+TEST_F(MachineDmaTest, BadControlBlockSetsError) {
+  auto& mem = machine_.mem();
+  DmaControlBlock cb{};
+  cb.ti = kDmaTiSrcDreq | kDmaTiDestInc | kDmaTiIntEn;  // DREQ with no registered port
+  cb.source_ad = 0xdead0000;
+  cb.dest_ad = 0x2000;
+  cb.txfr_len = 16;
+  ASSERT_EQ(Status::kOk, mem.WriteBytes(World::kNormal, 0x3000, &cb, sizeof(cb)));
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, kDmaEngineBase + kDmaConblkAd, 0x3000));
+  ASSERT_EQ(Status::kOk, mem.Write32(World::kNormal, kDmaEngineBase + kDmaCs, kDmaCsActive));
+  machine_.clock().Advance(1000);
+  uint32_t cs = *mem.Read32(World::kNormal, kDmaEngineBase + kDmaCs);
+  EXPECT_TRUE(cs & kDmaCsError);
+}
+
+TEST(MachineTest, DeviceRegistryLookups) {
+  Machine machine;
+  ScratchDevice dev;
+  Result<uint16_t> id = machine.AttachDevice(0x3f30'0000, 0x100, &dev);
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(machine.DeviceById(*id).ok());
+  EXPECT_TRUE(machine.DeviceByName("scratch").ok());
+  EXPECT_FALSE(machine.DeviceByName("missing").ok());
+  EXPECT_FALSE(machine.DeviceById(200).ok());
+}
+
+}  // namespace
+}  // namespace dlt

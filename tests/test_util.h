@@ -1,0 +1,67 @@
+// Shared helpers for the test suite.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "src/kern/block_layer.h"
+
+namespace dlt {
+
+// In-memory BlockDevice with no timing model; for engine-level tests (MiniDb,
+// page cache) that do not need the simulated machine.
+class MemBlockDevice : public BlockDevice {
+ public:
+  explicit MemBlockDevice(uint64_t sectors) : sectors_(sectors) {}
+
+  Status Read(uint64_t lba, uint32_t count, uint8_t* out) override {
+    if (lba + count > sectors_) {
+      return Status::kOutOfRange;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      auto it = data_.find(lba + i);
+      if (it == data_.end()) {
+        std::memset(out + i * 512, 0, 512);
+      } else {
+        std::memcpy(out + i * 512, it->second.data(), 512);
+      }
+    }
+    ++ops_;
+    return Status::kOk;
+  }
+
+  Status Write(uint64_t lba, uint32_t count, const uint8_t* data) override {
+    if (lba + count > sectors_) {
+      return Status::kOutOfRange;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      auto& sector = data_[lba + i];
+      sector.resize(512);
+      std::memcpy(sector.data(), data + i * 512, 512);
+    }
+    ++ops_;
+    return Status::kOk;
+  }
+
+  Status Flush() override { return Status::kOk; }
+  uint64_t io_ops() const override { return ops_; }
+
+ private:
+  uint64_t sectors_;
+  std::map<uint64_t, std::vector<uint8_t>> data_;
+  uint64_t ops_ = 0;
+};
+
+inline std::vector<uint8_t> PatternBuf(size_t len, uint64_t seed) {
+  std::vector<uint8_t> buf(len);
+  for (size_t i = 0; i < len; ++i) {
+    buf[i] = static_cast<uint8_t>((seed * 131 + i * 7 + (i >> 8)) & 0xff);
+  }
+  return buf;
+}
+
+}  // namespace dlt
+
+#endif  // TESTS_TEST_UTIL_H_

@@ -1,0 +1,203 @@
+// driverletc: command-line driverlet toolchain.
+//
+//   driverletc record <mmc|usb|camera|display|touch> -o pkg.dlt [--binary]
+//       Runs the device's record campaign on a simulated developer machine and
+//       writes the sealed (compressed + signed) driverlet package.
+//   driverletc inspect <pkg.dlt>
+//       Verifies the signature and prints the template inventory + coverage.
+//   driverletc verify <pkg.dlt>
+//       Signature/integrity check only; exit status reports the verdict.
+//   driverletc smoke <pkg.dlt>
+//       Loads the package into a simulated deployment TEE and replays one
+//       covered request per entry as a smoke test.
+//
+// The signing key is fixed (kDeveloperKey) — this mirrors the single developer
+// identity of the paper's threat model; a real deployment would provision keys.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/core/executor.h"
+#include "src/core/replayer.h"
+#include "src/workload/record_campaigns.h"
+#include "src/workload/rpi3_testbed.h"
+
+using namespace dlt;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: driverletc record <mmc|usb|camera|display|touch> -o <pkg> [--binary]\n"
+               "       driverletc inspect <pkg>\n"
+               "       driverletc verify <pkg>\n"
+               "       driverletc smoke <pkg>\n");
+  return 2;
+}
+
+Result<std::vector<uint8_t>> ReadFile(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::kNotFound;
+  }
+  std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  return data;
+}
+
+int CmdRecord(int argc, char** argv) {
+  const char* device = nullptr;
+  const char* out = nullptr;
+  PackageFormat format = PackageFormat::kText;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--binary") == 0) {
+      format = PackageFormat::kBinary;
+    } else if (device == nullptr) {
+      device = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (device == nullptr || out == nullptr) {
+    return Usage();
+  }
+  std::printf("recording the %s campaign on a simulated developer machine...\n", device);
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> campaign =
+      std::strcmp(device, "mmc") == 0       ? RecordMmcCampaign(&dev)
+      : std::strcmp(device, "usb") == 0     ? RecordUsbCampaign(&dev)
+      : std::strcmp(device, "camera") == 0  ? RecordCameraCampaign(&dev)
+      : std::strcmp(device, "display") == 0 ? RecordDisplayCampaign(&dev)
+      : std::strcmp(device, "touch") == 0   ? RecordTouchCampaign(&dev)
+                                            : Result<RecordCampaign>(Status::kInvalidArg);
+  if (!campaign.ok()) {
+    std::fprintf(stderr, "campaign failed: %s\n", StatusName(campaign.status()));
+    return 1;
+  }
+  PackageSizes sizes;
+  std::vector<uint8_t> sealed = campaign->Seal(format, kDeveloperKey, &sizes);
+  std::ofstream of(out, std::ios::binary);
+  if (!of.write(reinterpret_cast<const char*>(sealed.data()),
+                static_cast<std::streamsize>(sealed.size()))) {
+    std::fprintf(stderr, "cannot write %s\n", out);
+    return 1;
+  }
+  std::printf("%zu templates, coverage: %s\n", campaign->templates().size(),
+              campaign->CoverageReport().c_str());
+  std::printf("wrote %s: %zu bytes (%s, %zu uncompressed)\n", out, sizes.sealed,
+              format == PackageFormat::kBinary ? "binary" : "text", sizes.serialized);
+  return 0;
+}
+
+int CmdInspect(const char* path) {
+  Result<std::vector<uint8_t>> data = ReadFile(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  Result<DriverletPackage> pkg = OpenPackage(data->data(), data->size(), kDeveloperKey);
+  if (!pkg.ok()) {
+    std::fprintf(stderr, "%s: signature/integrity check FAILED\n", path);
+    return 1;
+  }
+  std::printf("driverlet \"%s\": %zu templates, signature OK\n", pkg->driverlet.c_str(),
+              pkg->templates.size());
+  std::printf("coverage: %s\n", CoverageReport(ComputeCoverage(pkg->templates)).c_str());
+  for (const auto& t : pkg->templates) {
+    EventBreakdown b = t.CountEvents();
+    std::printf("  %-12s entry=%-16s %4d in / %4d out / %3d meta\n", t.name.c_str(),
+                t.entry.c_str(), b.input, b.output, b.meta);
+  }
+  return 0;
+}
+
+int CmdVerify(const char* path) {
+  Result<std::vector<uint8_t>> data = ReadFile(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  Result<DriverletPackage> pkg = OpenPackage(data->data(), data->size(), kDeveloperKey);
+  std::printf("%s: %s\n", path, pkg.ok() ? "OK" : "FAILED");
+  return pkg.ok() ? 0 : 1;
+}
+
+int CmdSmoke(const char* path) {
+  Result<std::vector<uint8_t>> data = ReadFile(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  TestbedOptions opts;
+  opts.secure_io = true;
+  opts.probe_drivers = false;
+  Rpi3Testbed machine{opts};
+  Replayer replayer(&machine.tee(), kDeveloperKey);
+  if (!Ok(replayer.LoadPackage(data->data(), data->size()))) {
+    std::fprintf(stderr, "package rejected by the TEE\n");
+    return 1;
+  }
+  const std::string entry = replayer.templates().front().entry;
+  std::printf("smoke-replaying entry %s on a simulated deployment machine...\n", entry.c_str());
+
+  ReplayArgs args;
+  std::vector<uint8_t> buf;
+  std::vector<uint8_t> img_size(4, 0);
+  if (entry == kMmcEntry || entry == kUsbEntry) {
+    buf.assign(8 * 512, 0x5a);
+    args.scalars = {{"rw", kMmcRwWrite}, {"blkcnt", 8}, {"blkid", 2048}, {"flag", 0}};
+    args.buffers["buf"] = BufferView{buf.data(), buf.size()};
+  } else if (entry == kCameraEntry) {
+    buf.assign(Vc4Firmware::FrameBytes(1440) + 4096, 0);
+    args.scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", buf.size()}};
+    args.buffers["buf"] = BufferView{buf.data(), buf.size()};
+    args.buffers["img_size"] = BufferView{img_size.data(), img_size.size()};
+  } else if (entry == kDisplayEntry) {
+    buf.assign(64 * 64 * 4, 0x33);
+    args.scalars = {{"x", 0}, {"y", 0}, {"w", 64}, {"h", 64}};
+    args.buffers["buf"] = BufferView{buf.data(), buf.size()};
+  } else if (entry == kTouchEntry) {
+    machine.touch().InjectTouch(100, 100, 1'000);
+    buf.assign(4, 0);
+    args.buffers["evt"] = BufferView{buf.data(), buf.size()};
+  } else {
+    std::fprintf(stderr, "unknown entry %s\n", entry.c_str());
+    return 1;
+  }
+  Result<ReplayStats> r = replayer.Invoke(entry, args);
+  if (!r.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n", StatusName(r.status()));
+    const DivergenceReport& rep = replayer.last_report();
+    if (rep.valid) {
+      std::fprintf(stderr, "  diverged at #%zu %s (recorded %s:%d)\n", rep.event_index,
+                   rep.event_desc.c_str(), rep.file.c_str(), rep.line);
+    }
+    return 1;
+  }
+  std::printf("OK: template %s, %zu events replayed\n", r->template_name.c_str(),
+              r->events_executed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    return Usage();
+  }
+  if (std::strcmp(argv[1], "record") == 0) {
+    return CmdRecord(argc, argv);
+  }
+  if (std::strcmp(argv[1], "inspect") == 0) {
+    return CmdInspect(argv[2]);
+  }
+  if (std::strcmp(argv[1], "verify") == 0) {
+    return CmdVerify(argv[2]);
+  }
+  if (std::strcmp(argv[1], "smoke") == 0) {
+    return CmdSmoke(argv[2]);
+  }
+  return Usage();
+}
