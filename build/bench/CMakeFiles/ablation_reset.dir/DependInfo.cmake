@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_reset.cc" "bench/CMakeFiles/ablation_reset.dir/ablation_reset.cc.o" "gcc" "bench/CMakeFiles/ablation_reset.dir/ablation_reset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dlt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/dlt_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/dlt_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/dlt_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/dlt_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/dlt_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/dlt_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

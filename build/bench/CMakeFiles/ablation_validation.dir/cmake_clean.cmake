@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_validation.dir/ablation_validation.cc.o"
+  "CMakeFiles/ablation_validation.dir/ablation_validation.cc.o.d"
+  "ablation_validation"
+  "ablation_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

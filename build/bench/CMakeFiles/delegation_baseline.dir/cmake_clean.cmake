@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation_baseline.dir/delegation_baseline.cc.o"
+  "CMakeFiles/delegation_baseline.dir/delegation_baseline.cc.o.d"
+  "delegation_baseline"
+  "delegation_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

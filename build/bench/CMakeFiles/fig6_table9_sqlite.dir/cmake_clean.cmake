@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_table9_sqlite.dir/fig6_table9_sqlite.cc.o"
+  "CMakeFiles/fig6_table9_sqlite.dir/fig6_table9_sqlite.cc.o.d"
+  "fig6_table9_sqlite"
+  "fig6_table9_sqlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_table9_sqlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

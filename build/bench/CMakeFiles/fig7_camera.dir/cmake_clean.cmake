@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_camera.dir/fig7_camera.cc.o"
+  "CMakeFiles/fig7_camera.dir/fig7_camera.cc.o.d"
+  "fig7_camera"
+  "fig7_camera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_camera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_micro.dir/fig8_micro.cc.o"
+  "CMakeFiles/fig8_micro.dir/fig8_micro.cc.o.d"
+  "fig8_micro"
+  "fig8_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

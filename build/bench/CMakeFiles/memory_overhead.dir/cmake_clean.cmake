@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_overhead.dir/memory_overhead.cc.o"
+  "CMakeFiles/memory_overhead.dir/memory_overhead.cc.o.d"
+  "memory_overhead"
+  "memory_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mmc_templates.dir/table3_mmc_templates.cc.o"
+  "CMakeFiles/table3_mmc_templates.dir/table3_mmc_templates.cc.o.d"
+  "table3_mmc_templates"
+  "table3_mmc_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mmc_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

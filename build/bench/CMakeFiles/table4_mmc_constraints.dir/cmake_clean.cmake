@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mmc_constraints.dir/table4_mmc_constraints.cc.o"
+  "CMakeFiles/table4_mmc_constraints.dir/table4_mmc_constraints.cc.o.d"
+  "table4_mmc_constraints"
+  "table4_mmc_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mmc_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

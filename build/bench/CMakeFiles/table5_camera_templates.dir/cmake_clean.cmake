@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_camera_templates.dir/table5_camera_templates.cc.o"
+  "CMakeFiles/table5_camera_templates.dir/table5_camera_templates.cc.o.d"
+  "table5_camera_templates"
+  "table5_camera_templates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_camera_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

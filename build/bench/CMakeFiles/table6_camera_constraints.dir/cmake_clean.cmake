@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_camera_constraints.dir/table6_camera_constraints.cc.o"
+  "CMakeFiles/table6_camera_constraints.dir/table6_camera_constraints.cc.o.d"
+  "table6_camera_constraints"
+  "table6_camera_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_camera_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_8_efforts.dir/table7_8_efforts.cc.o"
+  "CMakeFiles/table7_8_efforts.dir/table7_8_efforts.cc.o.d"
+  "table7_8_efforts"
+  "table7_8_efforts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_8_efforts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driverlet_inspector.dir/driverlet_inspector.cpp.o"
+  "CMakeFiles/driverlet_inspector.dir/driverlet_inspector.cpp.o.d"
+  "driverlet_inspector"
+  "driverlet_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driverlet_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_kv_store.dir/secure_kv_store.cpp.o"
+  "CMakeFiles/secure_kv_store.dir/secure_kv_store.cpp.o.d"
+  "secure_kv_store"
+  "secure_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

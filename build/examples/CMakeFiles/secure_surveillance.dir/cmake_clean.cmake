@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_surveillance.dir/secure_surveillance.cpp.o"
+  "CMakeFiles/secure_surveillance.dir/secure_surveillance.cpp.o.d"
+  "secure_surveillance"
+  "secure_surveillance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_surveillance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

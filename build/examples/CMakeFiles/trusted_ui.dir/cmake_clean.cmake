@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trusted_ui.dir/trusted_ui.cpp.o"
+  "CMakeFiles/trusted_ui.dir/trusted_ui.cpp.o.d"
+  "trusted_ui"
+  "trusted_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trusted_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

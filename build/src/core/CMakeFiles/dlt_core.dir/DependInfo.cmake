@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/dlt_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/core/CMakeFiles/dlt_core.dir/coverage.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/coverage.cc.o.d"
+  "/root/repo/src/core/differ.cc" "src/core/CMakeFiles/dlt_core.dir/differ.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/differ.cc.o.d"
+  "/root/repo/src/core/event.cc" "src/core/CMakeFiles/dlt_core.dir/event.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/event.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/dlt_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/interaction_template.cc" "src/core/CMakeFiles/dlt_core.dir/interaction_template.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/interaction_template.cc.o.d"
+  "/root/repo/src/core/package.cc" "src/core/CMakeFiles/dlt_core.dir/package.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/package.cc.o.d"
+  "/root/repo/src/core/record_session.cc" "src/core/CMakeFiles/dlt_core.dir/record_session.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/record_session.cc.o.d"
+  "/root/repo/src/core/replayer.cc" "src/core/CMakeFiles/dlt_core.dir/replayer.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/replayer.cc.o.d"
+  "/root/repo/src/core/serialize_binary.cc" "src/core/CMakeFiles/dlt_core.dir/serialize_binary.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/serialize_binary.cc.o.d"
+  "/root/repo/src/core/serialize_text.cc" "src/core/CMakeFiles/dlt_core.dir/serialize_text.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/serialize_text.cc.o.d"
+  "/root/repo/src/core/template_builder.cc" "src/core/CMakeFiles/dlt_core.dir/template_builder.cc.o" "gcc" "src/core/CMakeFiles/dlt_core.dir/template_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sym/CMakeFiles/dlt_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/dlt_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

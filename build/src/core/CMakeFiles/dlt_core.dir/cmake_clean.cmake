@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_core.dir/campaign.cc.o"
+  "CMakeFiles/dlt_core.dir/campaign.cc.o.d"
+  "CMakeFiles/dlt_core.dir/coverage.cc.o"
+  "CMakeFiles/dlt_core.dir/coverage.cc.o.d"
+  "CMakeFiles/dlt_core.dir/differ.cc.o"
+  "CMakeFiles/dlt_core.dir/differ.cc.o.d"
+  "CMakeFiles/dlt_core.dir/event.cc.o"
+  "CMakeFiles/dlt_core.dir/event.cc.o.d"
+  "CMakeFiles/dlt_core.dir/executor.cc.o"
+  "CMakeFiles/dlt_core.dir/executor.cc.o.d"
+  "CMakeFiles/dlt_core.dir/interaction_template.cc.o"
+  "CMakeFiles/dlt_core.dir/interaction_template.cc.o.d"
+  "CMakeFiles/dlt_core.dir/package.cc.o"
+  "CMakeFiles/dlt_core.dir/package.cc.o.d"
+  "CMakeFiles/dlt_core.dir/record_session.cc.o"
+  "CMakeFiles/dlt_core.dir/record_session.cc.o.d"
+  "CMakeFiles/dlt_core.dir/replayer.cc.o"
+  "CMakeFiles/dlt_core.dir/replayer.cc.o.d"
+  "CMakeFiles/dlt_core.dir/serialize_binary.cc.o"
+  "CMakeFiles/dlt_core.dir/serialize_binary.cc.o.d"
+  "CMakeFiles/dlt_core.dir/serialize_text.cc.o"
+  "CMakeFiles/dlt_core.dir/serialize_text.cc.o.d"
+  "CMakeFiles/dlt_core.dir/template_builder.cc.o"
+  "CMakeFiles/dlt_core.dir/template_builder.cc.o.d"
+  "libdlt_core.a"
+  "libdlt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

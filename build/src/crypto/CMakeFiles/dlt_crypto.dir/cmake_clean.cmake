@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_crypto.dir/crc32.cc.o"
+  "CMakeFiles/dlt_crypto.dir/crc32.cc.o.d"
+  "CMakeFiles/dlt_crypto.dir/hmac.cc.o"
+  "CMakeFiles/dlt_crypto.dir/hmac.cc.o.d"
+  "CMakeFiles/dlt_crypto.dir/lzss.cc.o"
+  "CMakeFiles/dlt_crypto.dir/lzss.cc.o.d"
+  "CMakeFiles/dlt_crypto.dir/sha256.cc.o"
+  "CMakeFiles/dlt_crypto.dir/sha256.cc.o.d"
+  "libdlt_crypto.a"
+  "libdlt_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/display/display_controller.cc" "src/dev/CMakeFiles/dlt_dev.dir/display/display_controller.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/display/display_controller.cc.o.d"
+  "/root/repo/src/dev/display/touch_controller.cc" "src/dev/CMakeFiles/dlt_dev.dir/display/touch_controller.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/display/touch_controller.cc.o.d"
+  "/root/repo/src/dev/mmc/block_medium.cc" "src/dev/CMakeFiles/dlt_dev.dir/mmc/block_medium.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/mmc/block_medium.cc.o.d"
+  "/root/repo/src/dev/mmc/mmc_controller.cc" "src/dev/CMakeFiles/dlt_dev.dir/mmc/mmc_controller.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/mmc/mmc_controller.cc.o.d"
+  "/root/repo/src/dev/mmc/sd_card.cc" "src/dev/CMakeFiles/dlt_dev.dir/mmc/sd_card.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/mmc/sd_card.cc.o.d"
+  "/root/repo/src/dev/uart/uart_controller.cc" "src/dev/CMakeFiles/dlt_dev.dir/uart/uart_controller.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/uart/uart_controller.cc.o.d"
+  "/root/repo/src/dev/usb/dwc2_controller.cc" "src/dev/CMakeFiles/dlt_dev.dir/usb/dwc2_controller.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/usb/dwc2_controller.cc.o.d"
+  "/root/repo/src/dev/usb/usb_mass_storage.cc" "src/dev/CMakeFiles/dlt_dev.dir/usb/usb_mass_storage.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/usb/usb_mass_storage.cc.o.d"
+  "/root/repo/src/dev/vc4/vc4_firmware.cc" "src/dev/CMakeFiles/dlt_dev.dir/vc4/vc4_firmware.cc.o" "gcc" "src/dev/CMakeFiles/dlt_dev.dir/vc4/vc4_firmware.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/dlt_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

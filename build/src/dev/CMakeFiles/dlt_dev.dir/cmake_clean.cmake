@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_dev.dir/display/display_controller.cc.o"
+  "CMakeFiles/dlt_dev.dir/display/display_controller.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/display/touch_controller.cc.o"
+  "CMakeFiles/dlt_dev.dir/display/touch_controller.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/mmc/block_medium.cc.o"
+  "CMakeFiles/dlt_dev.dir/mmc/block_medium.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/mmc/mmc_controller.cc.o"
+  "CMakeFiles/dlt_dev.dir/mmc/mmc_controller.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/mmc/sd_card.cc.o"
+  "CMakeFiles/dlt_dev.dir/mmc/sd_card.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/uart/uart_controller.cc.o"
+  "CMakeFiles/dlt_dev.dir/uart/uart_controller.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/usb/dwc2_controller.cc.o"
+  "CMakeFiles/dlt_dev.dir/usb/dwc2_controller.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/usb/usb_mass_storage.cc.o"
+  "CMakeFiles/dlt_dev.dir/usb/usb_mass_storage.cc.o.d"
+  "CMakeFiles/dlt_dev.dir/vc4/vc4_firmware.cc.o"
+  "CMakeFiles/dlt_dev.dir/vc4/vc4_firmware.cc.o.d"
+  "libdlt_dev.a"
+  "libdlt_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

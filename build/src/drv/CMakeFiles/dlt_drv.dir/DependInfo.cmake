@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drv/bcm_sdhost_driver.cc" "src/drv/CMakeFiles/dlt_drv.dir/bcm_sdhost_driver.cc.o" "gcc" "src/drv/CMakeFiles/dlt_drv.dir/bcm_sdhost_driver.cc.o.d"
+  "/root/repo/src/drv/dsi_display_driver.cc" "src/drv/CMakeFiles/dlt_drv.dir/dsi_display_driver.cc.o" "gcc" "src/drv/CMakeFiles/dlt_drv.dir/dsi_display_driver.cc.o.d"
+  "/root/repo/src/drv/dwc2_storage_driver.cc" "src/drv/CMakeFiles/dlt_drv.dir/dwc2_storage_driver.cc.o" "gcc" "src/drv/CMakeFiles/dlt_drv.dir/dwc2_storage_driver.cc.o.d"
+  "/root/repo/src/drv/touch_driver.cc" "src/drv/CMakeFiles/dlt_drv.dir/touch_driver.cc.o" "gcc" "src/drv/CMakeFiles/dlt_drv.dir/touch_driver.cc.o.d"
+  "/root/repo/src/drv/vchiq_camera_driver.cc" "src/drv/CMakeFiles/dlt_drv.dir/vchiq_camera_driver.cc.o" "gcc" "src/drv/CMakeFiles/dlt_drv.dir/vchiq_camera_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/dlt_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/dlt_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/dlt_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/dlt_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_drv.dir/bcm_sdhost_driver.cc.o"
+  "CMakeFiles/dlt_drv.dir/bcm_sdhost_driver.cc.o.d"
+  "CMakeFiles/dlt_drv.dir/dsi_display_driver.cc.o"
+  "CMakeFiles/dlt_drv.dir/dsi_display_driver.cc.o.d"
+  "CMakeFiles/dlt_drv.dir/dwc2_storage_driver.cc.o"
+  "CMakeFiles/dlt_drv.dir/dwc2_storage_driver.cc.o.d"
+  "CMakeFiles/dlt_drv.dir/touch_driver.cc.o"
+  "CMakeFiles/dlt_drv.dir/touch_driver.cc.o.d"
+  "CMakeFiles/dlt_drv.dir/vchiq_camera_driver.cc.o"
+  "CMakeFiles/dlt_drv.dir/vchiq_camera_driver.cc.o.d"
+  "libdlt_drv.a"
+  "libdlt_drv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_drv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

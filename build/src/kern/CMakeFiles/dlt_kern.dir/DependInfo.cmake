@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kern/block_layer.cc" "src/kern/CMakeFiles/dlt_kern.dir/block_layer.cc.o" "gcc" "src/kern/CMakeFiles/dlt_kern.dir/block_layer.cc.o.d"
+  "/root/repo/src/kern/passthrough_io.cc" "src/kern/CMakeFiles/dlt_kern.dir/passthrough_io.cc.o" "gcc" "src/kern/CMakeFiles/dlt_kern.dir/passthrough_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dlt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/dlt_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/dlt_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

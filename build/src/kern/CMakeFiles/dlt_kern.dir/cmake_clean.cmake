@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_kern.dir/block_layer.cc.o"
+  "CMakeFiles/dlt_kern.dir/block_layer.cc.o.d"
+  "CMakeFiles/dlt_kern.dir/passthrough_io.cc.o"
+  "CMakeFiles/dlt_kern.dir/passthrough_io.cc.o.d"
+  "libdlt_kern.a"
+  "libdlt_kern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_kern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

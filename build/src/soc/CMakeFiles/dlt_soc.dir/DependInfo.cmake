@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soc/address_space.cc" "src/soc/CMakeFiles/dlt_soc.dir/address_space.cc.o" "gcc" "src/soc/CMakeFiles/dlt_soc.dir/address_space.cc.o.d"
+  "/root/repo/src/soc/dma_engine.cc" "src/soc/CMakeFiles/dlt_soc.dir/dma_engine.cc.o" "gcc" "src/soc/CMakeFiles/dlt_soc.dir/dma_engine.cc.o.d"
+  "/root/repo/src/soc/irq.cc" "src/soc/CMakeFiles/dlt_soc.dir/irq.cc.o" "gcc" "src/soc/CMakeFiles/dlt_soc.dir/irq.cc.o.d"
+  "/root/repo/src/soc/log.cc" "src/soc/CMakeFiles/dlt_soc.dir/log.cc.o" "gcc" "src/soc/CMakeFiles/dlt_soc.dir/log.cc.o.d"
+  "/root/repo/src/soc/machine.cc" "src/soc/CMakeFiles/dlt_soc.dir/machine.cc.o" "gcc" "src/soc/CMakeFiles/dlt_soc.dir/machine.cc.o.d"
+  "/root/repo/src/soc/sim_clock.cc" "src/soc/CMakeFiles/dlt_soc.dir/sim_clock.cc.o" "gcc" "src/soc/CMakeFiles/dlt_soc.dir/sim_clock.cc.o.d"
+  "/root/repo/src/soc/tzasc.cc" "src/soc/CMakeFiles/dlt_soc.dir/tzasc.cc.o" "gcc" "src/soc/CMakeFiles/dlt_soc.dir/tzasc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

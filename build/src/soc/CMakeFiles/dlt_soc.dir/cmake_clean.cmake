@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_soc.dir/address_space.cc.o"
+  "CMakeFiles/dlt_soc.dir/address_space.cc.o.d"
+  "CMakeFiles/dlt_soc.dir/dma_engine.cc.o"
+  "CMakeFiles/dlt_soc.dir/dma_engine.cc.o.d"
+  "CMakeFiles/dlt_soc.dir/irq.cc.o"
+  "CMakeFiles/dlt_soc.dir/irq.cc.o.d"
+  "CMakeFiles/dlt_soc.dir/log.cc.o"
+  "CMakeFiles/dlt_soc.dir/log.cc.o.d"
+  "CMakeFiles/dlt_soc.dir/machine.cc.o"
+  "CMakeFiles/dlt_soc.dir/machine.cc.o.d"
+  "CMakeFiles/dlt_soc.dir/sim_clock.cc.o"
+  "CMakeFiles/dlt_soc.dir/sim_clock.cc.o.d"
+  "CMakeFiles/dlt_soc.dir/tzasc.cc.o"
+  "CMakeFiles/dlt_soc.dir/tzasc.cc.o.d"
+  "libdlt_soc.a"
+  "libdlt_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sym/constraint.cc" "src/sym/CMakeFiles/dlt_sym.dir/constraint.cc.o" "gcc" "src/sym/CMakeFiles/dlt_sym.dir/constraint.cc.o.d"
+  "/root/repo/src/sym/expr.cc" "src/sym/CMakeFiles/dlt_sym.dir/expr.cc.o" "gcc" "src/sym/CMakeFiles/dlt_sym.dir/expr.cc.o.d"
+  "/root/repo/src/sym/tvalue.cc" "src/sym/CMakeFiles/dlt_sym.dir/tvalue.cc.o" "gcc" "src/sym/CMakeFiles/dlt_sym.dir/tvalue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/dlt_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_sym.dir/constraint.cc.o"
+  "CMakeFiles/dlt_sym.dir/constraint.cc.o.d"
+  "CMakeFiles/dlt_sym.dir/expr.cc.o"
+  "CMakeFiles/dlt_sym.dir/expr.cc.o.d"
+  "CMakeFiles/dlt_sym.dir/tvalue.cc.o"
+  "CMakeFiles/dlt_sym.dir/tvalue.cc.o.d"
+  "libdlt_sym.a"
+  "libdlt_sym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_sym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dlt_sym.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_tee.dir/secure_world.cc.o"
+  "CMakeFiles/dlt_tee.dir/secure_world.cc.o.d"
+  "libdlt_tee.a"
+  "libdlt_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dlt_workload.dir/minidb.cc.o"
+  "CMakeFiles/dlt_workload.dir/minidb.cc.o.d"
+  "CMakeFiles/dlt_workload.dir/record_campaigns.cc.o"
+  "CMakeFiles/dlt_workload.dir/record_campaigns.cc.o.d"
+  "CMakeFiles/dlt_workload.dir/replay_block_device.cc.o"
+  "CMakeFiles/dlt_workload.dir/replay_block_device.cc.o.d"
+  "CMakeFiles/dlt_workload.dir/rpi3_testbed.cc.o"
+  "CMakeFiles/dlt_workload.dir/rpi3_testbed.cc.o.d"
+  "CMakeFiles/dlt_workload.dir/sqlite_scripts.cc.o"
+  "CMakeFiles/dlt_workload.dir/sqlite_scripts.cc.o.d"
+  "libdlt_workload.a"
+  "libdlt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dlt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_test.cc" "tests/CMakeFiles/dlt_tests.dir/crypto_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/crypto_test.cc.o.d"
+  "/root/repo/tests/device_test.cc" "tests/CMakeFiles/dlt_tests.dir/device_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/device_test.cc.o.d"
+  "/root/repo/tests/direct_path_test.cc" "tests/CMakeFiles/dlt_tests.dir/direct_path_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/direct_path_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/dlt_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/dlt_tests.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/fault_injection_test.cc.o.d"
+  "/root/repo/tests/minidb_test.cc" "tests/CMakeFiles/dlt_tests.dir/minidb_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/minidb_test.cc.o.d"
+  "/root/repo/tests/package_fuzz_test.cc" "tests/CMakeFiles/dlt_tests.dir/package_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/package_fuzz_test.cc.o.d"
+  "/root/repo/tests/recorder_test.cc" "tests/CMakeFiles/dlt_tests.dir/recorder_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/recorder_test.cc.o.d"
+  "/root/repo/tests/replay_camera_test.cc" "tests/CMakeFiles/dlt_tests.dir/replay_camera_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/replay_camera_test.cc.o.d"
+  "/root/repo/tests/replay_display_test.cc" "tests/CMakeFiles/dlt_tests.dir/replay_display_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/replay_display_test.cc.o.d"
+  "/root/repo/tests/replay_mmc_test.cc" "tests/CMakeFiles/dlt_tests.dir/replay_mmc_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/replay_mmc_test.cc.o.d"
+  "/root/repo/tests/replay_touch_test.cc" "tests/CMakeFiles/dlt_tests.dir/replay_touch_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/replay_touch_test.cc.o.d"
+  "/root/repo/tests/replay_usb_test.cc" "tests/CMakeFiles/dlt_tests.dir/replay_usb_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/replay_usb_test.cc.o.d"
+  "/root/repo/tests/security_test.cc" "tests/CMakeFiles/dlt_tests.dir/security_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/security_test.cc.o.d"
+  "/root/repo/tests/serialize_test.cc" "tests/CMakeFiles/dlt_tests.dir/serialize_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/serialize_test.cc.o.d"
+  "/root/repo/tests/soc_test.cc" "tests/CMakeFiles/dlt_tests.dir/soc_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/soc_test.cc.o.d"
+  "/root/repo/tests/sym_test.cc" "tests/CMakeFiles/dlt_tests.dir/sym_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/sym_test.cc.o.d"
+  "/root/repo/tests/tee_and_coverage_test.cc" "tests/CMakeFiles/dlt_tests.dir/tee_and_coverage_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/tee_and_coverage_test.cc.o.d"
+  "/root/repo/tests/uart_trimdown_test.cc" "tests/CMakeFiles/dlt_tests.dir/uart_trimdown_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/uart_trimdown_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/dlt_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/dlt_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/dlt_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/drv/CMakeFiles/dlt_drv.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/dlt_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/dlt_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/kern/CMakeFiles/dlt_kern.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dlt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sym/CMakeFiles/dlt_sym.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dlt_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/dlt_soc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driverletc.dir/driverletc.cc.o"
+  "CMakeFiles/driverletc.dir/driverletc.cc.o.d"
+  "driverletc"
+  "driverletc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driverletc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for driverletc.
+# This may be replaced when dependencies are built.
