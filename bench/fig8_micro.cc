@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "src/obs/telemetry.h"
 #include "src/workload/sqlite_scripts.h"
 #include "tests/../src/kern/block_layer.h"
 
@@ -100,4 +101,25 @@ BENCHMARK(USB_Native_WR)->Apply(Sizes);
 }  // namespace
 }  // namespace dlt
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): when telemetry is armed
+// (DLT_TRACE=1), print the metrics summary after the run — template hit/miss,
+// soft resets, per-event-kind replay latencies (docs/observability.md).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  dlt::Telemetry& tel = dlt::Telemetry::Get();
+  if (tel.enabled()) {
+    dlt::MetricsRegistry& m = tel.metrics();
+    std::printf("\n-- telemetry metrics (virtual time) --\n");
+    std::printf("template hits=%llu misses=%llu soft_resets=%llu\n",
+                static_cast<unsigned long long>(m.counter("replay.template_hit").value()),
+                static_cast<unsigned long long>(m.counter("replay.template_miss").value()),
+                static_cast<unsigned long long>(m.counter("replay.soft_resets").value()));
+    std::printf("%s", m.Summary().c_str());
+  }
+  return 0;
+}

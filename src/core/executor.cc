@@ -1,9 +1,11 @@
 #include "src/core/executor.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <sstream>
 
+#include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
@@ -11,6 +13,18 @@ namespace dlt {
 namespace {
 // Interpreter cost per event; charged through the context's timing hook.
 constexpr uint64_t kPerEventNs = 800;
+
+// Per-kind replay latency histograms, resolved once per kind (registrations
+// are permanent, so the cached pointers stay valid across Telemetry::Reset).
+Histogram& KindHistogram(EventKind k) {
+  static std::array<Histogram*, 16> cache{};
+  size_t i = static_cast<size_t>(k);
+  if (cache[i] == nullptr) {
+    cache[i] =
+        &Telemetry::Get().metrics().histogram(std::string("replay.us.") + EventKindName(k));
+  }
+  return *cache[i];
+}
 }  // namespace
 
 std::string DescribeEvent(const TemplateEvent& e) {
@@ -76,6 +90,15 @@ Result<PhysAddr> Executor::EvalAddr(const ExprRef& e, size_t access_len) const {
 
 void Executor::FillDivergence(const TemplateEvent& e, size_t index, uint64_t observed,
                               DivergenceReport* report) const {
+  // Single choke point for every divergence flavour (constraint violation,
+  // poll/IRQ timeout, allocation failure) — telemetry taps it here.
+  Telemetry& t = Telemetry::Get();
+  if (t.enabled()) {
+    t.metrics().counter("replay.divergences").Inc();
+    t.metrics().counter("replay.constraint_failures." + tpl_->name).Inc();
+    t.Instant(TraceKind::kDivergence, ctx_->TimestampUs(), tpl_->name, observed, index,
+              e.device);
+  }
   report->valid = true;
   report->template_name = tpl_->name;
   report->event_index = index;
@@ -102,6 +125,12 @@ Status Executor::CheckConstraint(const TemplateEvent& e, size_t index, uint64_t 
                                  DivergenceReport* report) {
   if (e.constraint.empty()) {
     return Status::kOk;
+  }
+  Telemetry& t = Telemetry::Get();
+  if (t.enabled()) {
+    t.metrics().counter("replay.constraint_evals").Inc();
+    t.Instant(TraceKind::kConstraintEval, ctx_->TimestampUs(),
+              e.bind.empty() ? EventKindName(e.kind) : e.bind, observed, index, e.device);
   }
   Result<bool> ok = e.constraint.Eval(bindings_);
   if (!ok.ok()) {
@@ -132,6 +161,21 @@ Result<BufferView> Executor::ResolveBuffer(const TemplateEvent& e, uint64_t* off
 }
 
 Status Executor::RunOne(const TemplateEvent& e, size_t index, DivergenceReport* report) {
+  Telemetry& t = Telemetry::Get();
+  if (!t.enabled()) {
+    return ExecuteOne(e, index, report);
+  }
+  uint64_t t0 = ctx_->TimestampUs();
+  Status s = ExecuteOne(e, index, report);
+  uint64_t dur = ctx_->TimestampUs() - t0;
+  t.metrics().counter("replay.events").Inc();
+  KindHistogram(e.kind).Record(dur);
+  t.Span(TraceKind::kReplayEvent, t0, dur, EventKindName(e.kind), index,
+         static_cast<uint64_t>(s), e.device);
+  return s;
+}
+
+Status Executor::ExecuteOne(const TemplateEvent& e, size_t index, DivergenceReport* report) {
   ctx_->ChargeReplayOverheadNs(kPerEventNs);
   ++events_executed_;
   switch (e.kind) {

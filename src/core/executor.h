@@ -24,7 +24,10 @@ class Executor {
 
  private:
   Status RunEvents(const std::vector<TemplateEvent>& events, DivergenceReport* report);
+  // RunOne wraps ExecuteOne with telemetry (per-event trace span + latency
+  // histogram); the disabled path costs one branch before dispatch.
   Status RunOne(const TemplateEvent& e, size_t index, DivergenceReport* report);
+  Status ExecuteOne(const TemplateEvent& e, size_t index, DivergenceReport* report);
 
   Result<uint64_t> EvalExpr(const ExprRef& e) const;
   Result<PhysAddr> EvalAddr(const ExprRef& e, size_t access_len) const;

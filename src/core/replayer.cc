@@ -1,6 +1,7 @@
 #include "src/core/replayer.h"
 
 #include "src/core/executor.h"
+#include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
@@ -46,6 +47,11 @@ Result<const InteractionTemplate*> Replayer::SelectTemplate(std::string_view ent
     if (!ok.ok()) {
       continue;  // constraint over non-initial symbols cannot gate selection
     }
+    Telemetry& tel = Telemetry::Get();
+    if (tel.enabled() && !*ok) {
+      tel.Instant(TraceKind::kTemplateRejected, ctx_->TimestampUs(), t.name, 0, 0,
+                  t.primary_device);
+    }
     if (*ok) {
       if (selected != nullptr) {
         // By construction no two templates cover the same inputs (the recorder
@@ -63,11 +69,22 @@ Result<const InteractionTemplate*> Replayer::SelectTemplate(std::string_view ent
 }
 
 Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& args) {
+  Telemetry& tel = Telemetry::Get();
+  uint64_t invoke_t0 = tel.enabled() ? ctx_->TimestampUs() : 0;
+
   Result<const InteractionTemplate*> sel = SelectTemplate(entry, args);
   if (!sel.ok()) {
+    if (tel.enabled() && sel.status() == Status::kNoTemplate) {
+      tel.metrics().counter("replay.template_miss").Inc();
+    }
     return sel.status();
   }
   const InteractionTemplate* tpl = *sel;
+  if (tel.enabled()) {
+    tel.metrics().counter("replay.template_hit").Inc();
+    tel.Instant(TraceKind::kTemplateSelected, ctx_->TimestampUs(), tpl->name, 0, 0,
+                tpl->primary_device);
+  }
 
   ReplayStats stats;
   stats.template_name = tpl->name;
@@ -78,6 +95,12 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
     // Reset the device before executing each template and upon divergence —
     // constrains the device state space exactly as a record run did (§3.3, §5).
     if (reset_between_templates_ || attempt > 1) {
+      if (tel.enabled()) {
+        tel.metrics().counter("replay.soft_resets").Inc();
+        tel.Instant(TraceKind::kSoftReset, ctx_->TimestampUs(),
+                    attempt > 1 ? "divergence_retry" : "between_templates", 0, 0,
+                    tpl->primary_device);
+      }
       Status reset = ctx_->SoftResetDevice(tpl->primary_device);
       if (!Ok(reset)) {
         return reset;
@@ -92,6 +115,13 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
     stats.events_executed += exec.events_executed();
     total_events_ += exec.events_executed();
     if (Ok(s)) {
+      if (tel.enabled()) {
+        uint64_t now = ctx_->TimestampUs();
+        tel.metrics().histogram("replay.invoke_us").Record(now - invoke_t0);
+        tel.Span(TraceKind::kReplayInvoke, invoke_t0, now - invoke_t0, tpl->name,
+                 stats.events_executed, static_cast<uint64_t>(stats.attempts),
+                 tpl->primary_device);
+      }
       return stats;
     }
     if (s != Status::kDiverged && s != Status::kTimeout) {
@@ -101,6 +131,13 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
                    << " (" << report_.event_desc << "), attempt " << attempt;
   }
   // Persistent divergence: give up and surface the rewound report (§5).
+  if (tel.enabled()) {
+    uint64_t now = ctx_->TimestampUs();
+    tel.metrics().counter("replay.aborts").Inc();
+    tel.Span(TraceKind::kReplayInvoke, invoke_t0, now - invoke_t0, tpl->name,
+             stats.events_executed, static_cast<uint64_t>(stats.attempts),
+             tpl->primary_device);
+  }
   return Status::kAborted;
 }
 

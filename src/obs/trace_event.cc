@@ -1,0 +1,46 @@
+#include "src/obs/trace_event.h"
+
+namespace dlt {
+
+const char* TraceKindName(TraceKind k) {
+  switch (k) {
+    case TraceKind::kReplayInvoke: return "replay_invoke";
+    case TraceKind::kTemplateSelected: return "template_selected";
+    case TraceKind::kTemplateRejected: return "template_rejected";
+    case TraceKind::kConstraintEval: return "constraint_eval";
+    case TraceKind::kReplayEvent: return "replay_event";
+    case TraceKind::kDivergence: return "divergence";
+    case TraceKind::kSoftReset: return "soft_reset";
+    case TraceKind::kDmaTransfer: return "dma_transfer";
+    case TraceKind::kIrqRaise: return "irq_raise";
+    case TraceKind::kIrqWait: return "irq_wait";
+    case TraceKind::kWorldSwitch: return "world_switch";
+    case TraceKind::kCount: break;
+  }
+  return "unknown";
+}
+
+const char* TraceKindCategory(TraceKind k) {
+  switch (k) {
+    case TraceKind::kReplayInvoke:
+    case TraceKind::kTemplateSelected:
+    case TraceKind::kTemplateRejected:
+    case TraceKind::kConstraintEval:
+    case TraceKind::kReplayEvent:
+    case TraceKind::kDivergence:
+    case TraceKind::kSoftReset:
+      return "replay";
+    case TraceKind::kDmaTransfer:
+      return "dma";
+    case TraceKind::kIrqRaise:
+    case TraceKind::kIrqWait:
+      return "irq";
+    case TraceKind::kWorldSwitch:
+      return "tee";
+    case TraceKind::kCount:
+      break;
+  }
+  return "misc";
+}
+
+}  // namespace dlt

@@ -1,0 +1,57 @@
+// Typed trace events for the observability subsystem. Every event is a
+// fixed-size POD stamped with SimClock virtual time so a replay's trace is
+// deterministic; spans additionally carry a virtual duration. The taxonomy
+// follows the replay pipeline: template selection, per-event execution, the
+// SoC's MMIO/DMA/IRQ activity underneath, and the failure path (divergence,
+// soft reset). docs/observability.md is the reference.
+#ifndef SRC_OBS_TRACE_EVENT_H_
+#define SRC_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace dlt {
+
+enum class TraceKind : uint8_t {
+  // Replayer / executor.
+  kReplayInvoke = 0,     // span: one Replayer::Invoke (name = template)
+  kTemplateSelected,     // instant: constraint match won (name = template)
+  kTemplateRejected,     // instant: initial constraints unsatisfied
+  kConstraintEval,       // instant: state-changing input checked (arg0 = observed)
+  kReplayEvent,          // span: one template event executed (name = kind)
+  kDivergence,           // instant: constraint violated (arg0 = observed)
+  kSoftReset,            // instant: device reset (name = cause, device set)
+  // SoC substrate.
+  kDmaTransfer,          // span: one DMA chain (arg0 = bytes, arg1 = channel)
+  kIrqRaise,             // instant: line asserted (arg0 = line)
+  kIrqWait,              // span: replay waited for a line (arg0 = line)
+  kWorldSwitch,          // instant: SMC boundary crossing (arg0 = direction)
+  kCount,                // sentinel
+};
+
+const char* TraceKindName(TraceKind k);
+
+// Chrome trace-event category each kind exports under (also its tid lane).
+const char* TraceKindCategory(TraceKind k);
+
+struct TraceEvent {
+  uint64_t ts_us = 0;    // SimClock virtual time at emission
+  uint64_t dur_us = 0;   // spans only; 0 for instants
+  uint64_t arg0 = 0;
+  uint64_t arg1 = 0;
+  TraceKind kind = TraceKind::kReplayEvent;
+  uint16_t device = 0;   // template device id when applicable
+  char name[36] = {};    // NUL-terminated label (template name, event kind, ...)
+
+  void set_name(std::string_view s) {
+    size_t n = s.size() < sizeof(name) - 1 ? s.size() : sizeof(name) - 1;
+    std::memcpy(name, s.data(), n);
+    name[n] = '\0';
+  }
+};
+static_assert(sizeof(TraceEvent) == 72, "keep trace slots cache-friendly");
+
+}  // namespace dlt
+
+#endif  // SRC_OBS_TRACE_EVENT_H_

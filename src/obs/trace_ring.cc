@@ -1,0 +1,39 @@
+#include "src/obs/trace_ring.h"
+
+namespace dlt {
+
+namespace {
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity)
+    : slots_(RoundUpPow2(capacity < 2 ? 2 : capacity)), mask_(slots_.size() - 1) {}
+
+uint64_t TraceRing::dropped() const {
+  uint64_t pushed = head_.load(std::memory_order_relaxed);
+  return pushed > slots_.size() ? pushed - slots_.size() : 0;
+}
+
+size_t TraceRing::size() const {
+  uint64_t pushed = head_.load(std::memory_order_relaxed);
+  return pushed < slots_.size() ? static_cast<size_t>(pushed) : slots_.size();
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  uint64_t pushed = head_.load(std::memory_order_relaxed);
+  uint64_t first = pushed > slots_.size() ? pushed - slots_.size() : 0;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(pushed - first));
+  for (uint64_t seq = first; seq < pushed; ++seq) {
+    out.push_back(slots_[seq & mask_]);
+  }
+  return out;
+}
+
+}  // namespace dlt

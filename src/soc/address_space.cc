@@ -1,8 +1,19 @@
 #include "src/soc/address_space.h"
 
+#include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
+
+namespace {
+// Cached once: registrations are permanent, so the pointers never dangle.
+void CountMmio(bool write) {
+  Telemetry& t = Telemetry::Get();
+  static Counter* reads = &t.metrics().counter("mmio.reads");
+  static Counter* writes = &t.metrics().counter("mmio.writes");
+  (write ? writes : reads)->Inc();
+}
+}  // namespace
 
 bool AddressSpace::Overlaps(PhysAddr base, uint64_t size) const {
   auto hit = [&](PhysAddr b, uint64_t s) { return base < b + s && b < base + size; };
@@ -71,6 +82,9 @@ Result<uint32_t> AddressSpace::Read32(World w, PhysAddr a) {
       return Status::kInvalidArg;
     }
     ++mmio_accesses_;
+    if (Telemetry::Get().enabled()) {
+      CountMmio(/*write=*/false);
+    }
     return dev->MmioRead32(off);
   }
   if (RamWindow* ram = RamAt(a, 4); ram != nullptr) {
@@ -91,6 +105,9 @@ Status AddressSpace::Write32(World w, PhysAddr a, uint32_t v) {
       return Status::kInvalidArg;
     }
     ++mmio_accesses_;
+    if (Telemetry::Get().enabled()) {
+      CountMmio(/*write=*/true);
+    }
     dev->MmioWrite32(off, v);
     return Status::kOk;
   }

@@ -16,11 +16,17 @@
 
 namespace dlt {
 
+class SimClock;
+
 class AddressSpace {
  public:
   explicit AddressSpace(Tzasc* tzasc) : tzasc_(tzasc) {}
   AddressSpace(const AddressSpace&) = delete;
   AddressSpace& operator=(const AddressSpace&) = delete;
+
+  // Optional: telemetry MMIO counters cache pointers on first use; the clock
+  // is unused today but keeps the binding symmetric with InterruptController.
+  void BindClock(const SimClock* clock) { clock_ = clock; }
 
   Status AddRam(PhysAddr base, uint64_t size);
   Status MapMmio(PhysAddr base, uint64_t size, MmioDevice* dev);
@@ -61,6 +67,7 @@ class AddressSpace {
   bool Overlaps(PhysAddr base, uint64_t size) const;
 
   Tzasc* tzasc_;
+  const SimClock* clock_ = nullptr;
   std::vector<RamWindow> ram_;
   std::vector<MmioWindow> mmio_;
   uint64_t mmio_accesses_ = 0;

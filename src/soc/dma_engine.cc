@@ -1,5 +1,6 @@
 #include "src/soc/dma_engine.h"
 
+#include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
@@ -69,7 +70,17 @@ void DmaEngine::MmioWrite32(uint64_t offset, uint32_t value) {
 void DmaEngine::StartChannel(int ch) {
   Channel& c = channels_[static_cast<size_t>(ch)];
   bool error = false;
+  uint64_t bytes_before = bytes_transferred_;
   uint64_t cost_us = RunChain(c, &error);
+  Telemetry& t = Telemetry::Get();
+  if (t.enabled()) {
+    uint64_t bytes = bytes_transferred_ - bytes_before;
+    t.metrics().counter("dma.bytes").Inc(bytes);
+    t.metrics().counter("dma.transfers").Inc();
+    t.metrics().histogram("dma.xfer_us").Record(cost_us);
+    t.Span(TraceKind::kDmaTransfer, clock_->now_us(), cost_us, "dma_xfer", bytes,
+           static_cast<uint64_t>(ch));
+  }
   int line = irq_line(ch);
   bool want_irq = (c.cb.ti & kDmaTiIntEn) != 0;
   c.pending = clock_->ScheduleIn(cost_us, [this, ch, line, want_irq, error] {
@@ -117,6 +128,7 @@ bool DmaEngine::RunOneBlock(const DmaControlBlock& cb, uint64_t* cost_us) {
   if (len == 0) {
     return true;
   }
+  bytes_transferred_ += len;
   bounce_.resize(len);
   bool src_dreq = (cb.ti & kDmaTiSrcDreq) != 0;
   bool dst_dreq = (cb.ti & kDmaTiDestDreq) != 0;

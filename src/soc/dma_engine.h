@@ -73,6 +73,7 @@ class DmaEngine : public MmioDevice {
 
   int irq_line(int channel) const { return irq_base_ + channel; }
   uint64_t transfers_completed() const { return transfers_completed_; }
+  uint64_t bytes_transferred() const { return bytes_transferred_; }
 
  private:
   struct Channel {
@@ -97,6 +98,7 @@ class DmaEngine : public MmioDevice {
   std::array<Channel, kNumChannels> channels_;
   std::map<PhysAddr, DmaDataPort*> ports_;
   uint64_t transfers_completed_ = 0;
+  uint64_t bytes_transferred_ = 0;
   std::vector<uint8_t> bounce_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <cstddef>
 
+#include "src/obs/telemetry.h"
+#include "src/soc/sim_clock.h"
+
 namespace dlt {
 
 void InterruptController::Raise(int line) {
@@ -16,6 +19,14 @@ void InterruptController::Raise(int line) {
   }
   if (!was_pending) {
     ++raise_counts_[static_cast<size_t>(line)];
+    Telemetry& t = Telemetry::Get();
+    if (t.enabled()) {
+      t.metrics().counter("irq.raises").Inc();
+      if (clock_ != nullptr) {
+        t.Instant(TraceKind::kIrqRaise, clock_->now_us(), "irq_raise",
+                  static_cast<uint64_t>(line));
+      }
+    }
   }
 }
 

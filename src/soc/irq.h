@@ -8,9 +8,16 @@
 
 namespace dlt {
 
+class SimClock;
+
 class InterruptController {
  public:
   static constexpr int kMaxLines = 96;
+
+  // Optional: lets Raise() stamp telemetry trace events with virtual time.
+  // Machine binds its clock at assembly; a controller without a clock still
+  // counts raises but emits no trace events.
+  void BindClock(const SimClock* clock) { clock_ = clock; }
 
   void Raise(int line);
   void Clear(int line);
@@ -29,6 +36,7 @@ class InterruptController {
   uint64_t pending_mask_ = 0;  // lines 0..63
   uint32_t pending_hi_ = 0;    // lines 64..95
   std::array<uint64_t, kMaxLines> raise_counts_{};
+  const SimClock* clock_ = nullptr;
 };
 
 }  // namespace dlt

@@ -3,6 +3,8 @@
 namespace dlt {
 
 Machine::Machine() : mem_(&tzasc_) {
+  irq_.BindClock(&clock_);
+  mem_.BindClock(&clock_);
   (void)mem_.AddRam(kRamBase, kRamSize);
   dma_ = std::make_unique<DmaEngine>(&mem_, &clock_, &irq_, &latency_, kDmaIrqBase);
   (void)AttachDevice(kDmaEngineBase, kDmaEngineSize, dma_.get());

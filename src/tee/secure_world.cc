@@ -1,5 +1,6 @@
 #include "src/tee/secure_world.h"
 
+#include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
@@ -98,17 +99,32 @@ uint64_t SecureWorld::TimestampUs() { return machine_->clock().now_us(); }
 
 Status SecureWorld::WaitForIrq(int line, uint64_t timeout_us) {
   SimClock& clock = machine_->clock();
-  uint64_t deadline = clock.now_us() + timeout_us;
+  uint64_t t0 = clock.now_us();
+  uint64_t deadline = t0 + timeout_us;
+  Status result = Status::kOk;
   while (!machine_->irq().Pending(line)) {
     std::optional<uint64_t> next = clock.NextEventTime();
     if (!next.has_value() || *next > deadline) {
       clock.AdvanceTo(deadline);
-      return Status::kTimeout;
+      result = Status::kTimeout;
+      break;
     }
     clock.StepToNextEvent();
   }
-  clock.Advance(machine_->latency().irq_delivery_us);
-  return Status::kOk;
+  if (Ok(result)) {
+    clock.Advance(machine_->latency().irq_delivery_us);
+  }
+  Telemetry& t = Telemetry::Get();
+  if (t.enabled()) {
+    uint64_t dur = clock.now_us() - t0;
+    t.metrics().histogram("tee.irq_wait_us").Record(dur);
+    if (!Ok(result)) {
+      t.metrics().counter("tee.irq_wait_timeouts").Inc();
+    }
+    t.Span(TraceKind::kIrqWait, t0, dur, "irq_wait", static_cast<uint64_t>(line),
+           Ok(result) ? 0 : 1);
+  }
+  return result;
 }
 
 void SecureWorld::DelayUs(uint64_t us) { machine_->clock().Advance(us); }

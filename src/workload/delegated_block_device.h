@@ -7,6 +7,7 @@
 #define SRC_WORKLOAD_DELEGATED_BLOCK_DEVICE_H_
 
 #include "src/kern/block_layer.h"
+#include "src/obs/telemetry.h"
 
 namespace dlt {
 
@@ -44,6 +45,15 @@ class DelegatedBlockDevice : public BlockDevice {
     const LatencyModel& lat = machine_->latency();
     // SMC into the OS, marshal the payload through the shared buffer, SMC back.
     uint64_t marshal_us = (static_cast<uint64_t>(count) * 512) / 2048;  // ~2 GB/s memcpy
+    Telemetry& t = Telemetry::Get();
+    if (t.enabled()) {
+      uint64_t now = machine_->clock().now_us();
+      t.metrics().counter("tee.world_switches").Inc(2);
+      t.Instant(TraceKind::kWorldSwitch, now, "smc_to_os", /*arg0=*/0);
+      t.Instant(TraceKind::kWorldSwitch,
+                now + 2 * lat.world_switch_us + marshal_us + lat.kern_wakeup_us, "smc_return",
+                /*arg0=*/1);
+    }
     machine_->clock().Advance(2 * lat.world_switch_us + marshal_us + lat.kern_wakeup_us);
   }
 

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to files in the repo.
+
+Usage: check_md_links.py <file-or-dir> [...]
+
+Scans each given markdown file (directories are walked for *.md) for inline
+links/images `[text](target)`. External (scheme://, mailto:) and pure-anchor
+(#...) targets are skipped; everything else must exist relative to the file
+containing the link. Exits 1 listing every broken link.
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def collect(paths):
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, _, names in os.walk(p):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        else:
+            files.append(p)
+    return files
+
+
+def check_file(path):
+    broken = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if "://" in target or target.startswith(("mailto:", "#")):
+                    continue
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), rel))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip())
+        return 2
+    total_files = 0
+    failures = 0
+    for path in collect(argv[1:]):
+        total_files += 1
+        for lineno, target in check_file(path):
+            print(f"{path}:{lineno}: broken link -> {target}")
+            failures += 1
+    if failures:
+        print(f"FAIL: {failures} broken link(s)")
+        return 1
+    print(f"OK: checked {total_files} markdown file(s), all relative links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,6 +10,10 @@
 //   driverletc smoke <pkg.dlt>
 //       Loads the package into a simulated deployment TEE and replays one
 //       covered request per entry as a smoke test.
+//   driverletc trace <pkg.dlt> -o trace.json
+//       Smoke replay with telemetry armed; writes a Chrome trace-event JSON
+//       file (open in chrome://tracing or https://ui.perfetto.dev) and prints
+//       the metrics summary. See docs/observability.md.
 //
 // The signing key is fixed (kDeveloperKey) — this mirrors the single developer
 // identity of the paper's threat model; a real deployment would provision keys.
@@ -19,6 +23,8 @@
 
 #include "src/core/executor.h"
 #include "src/core/replayer.h"
+#include "src/obs/chrome_trace.h"
+#include "src/obs/telemetry.h"
 #include "src/workload/record_campaigns.h"
 #include "src/workload/rpi3_testbed.h"
 
@@ -31,7 +37,8 @@ int Usage() {
                "usage: driverletc record <mmc|usb|camera|display|touch> -o <pkg> [--binary]\n"
                "       driverletc inspect <pkg>\n"
                "       driverletc verify <pkg>\n"
-               "       driverletc smoke <pkg>\n");
+               "       driverletc smoke <pkg>\n"
+               "       driverletc trace <pkg> -o <trace.json>\n");
   return 2;
 }
 
@@ -124,7 +131,9 @@ int CmdVerify(const char* path) {
   return pkg.ok() ? 0 : 1;
 }
 
-int CmdSmoke(const char* path) {
+// Loads |path| into a deployment TEE and replays one covered request for its
+// first entry. Shared by `smoke` (correctness check) and `trace` (telemetry).
+int ReplayOnce(const char* path) {
   Result<std::vector<uint8_t>> data = ReadFile(path);
   if (!data.ok()) {
     std::fprintf(stderr, "cannot read %s\n", path);
@@ -140,7 +149,7 @@ int CmdSmoke(const char* path) {
     return 1;
   }
   const std::string entry = replayer.templates().front().entry;
-  std::printf("smoke-replaying entry %s on a simulated deployment machine...\n", entry.c_str());
+  std::printf("replaying entry %s on a simulated deployment machine...\n", entry.c_str());
 
   ReplayArgs args;
   std::vector<uint8_t> buf;
@@ -181,6 +190,45 @@ int CmdSmoke(const char* path) {
   return 0;
 }
 
+int CmdTrace(int argc, char** argv) {
+  const char* pkg = nullptr;
+  const char* out = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (pkg == nullptr) {
+      pkg = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (pkg == nullptr || out == nullptr) {
+    return Usage();
+  }
+
+  Telemetry& tel = Telemetry::Get();
+  tel.Enable(1 << 18);
+  tel.Reset();
+  int rc = ReplayOnce(pkg);
+  if (rc != 0) {
+    return rc;  // even a failed replay leaves a trace; but keep the exit honest
+  }
+
+  std::vector<TraceEvent> events = tel.ring().Snapshot();
+  std::ofstream of(out, std::ios::binary);
+  if (!of) {
+    std::fprintf(stderr, "cannot write %s\n", out);
+    return 1;
+  }
+  ExportChromeTrace(events, &tel.metrics(), of);
+  of.close();
+  std::printf("wrote %s: %zu trace events (%llu dropped)\n", out, events.size(),
+              static_cast<unsigned long long>(tel.ring().dropped()));
+  std::printf("open in chrome://tracing or https://ui.perfetto.dev\n\n%s",
+              tel.metrics().Summary().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -197,7 +245,10 @@ int main(int argc, char** argv) {
     return CmdVerify(argv[2]);
   }
   if (std::strcmp(argv[1], "smoke") == 0) {
-    return CmdSmoke(argv[2]);
+    return ReplayOnce(argv[2]);
+  }
+  if (std::strcmp(argv[1], "trace") == 0) {
+    return CmdTrace(argc, argv);
   }
   return Usage();
 }
