@@ -27,7 +27,7 @@ int main() {
     double dlt_iops = 0;
     {
       Deployment d = MakeDeployment(pkg);
-      ReplayBlockDevice rdev(d.replayer.get(), kMmcEntry);
+      ReplayBlockDevice rdev(d.service.get(), d.session, kMmcEntry);
       CountingBlockDevice counter(&rdev);
       MiniDb db(&counter);
       if (!Ok(db.Open()) || !Ok(PopulateDb(&db, 600, 11))) {

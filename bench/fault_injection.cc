@@ -18,7 +18,7 @@ int main() {
 
   {
     Deployment d = MakeDeployment(pkg);
-    ReplayBlockDevice rdev(d.replayer.get(), kMmcEntry);
+    ReplayBlockDevice rdev(d.service.get(), d.session, kMmcEntry);
     std::vector<uint8_t> buf(2048 * 512, 0x77);
     // First chunk (256 blocks) succeeds; unplug before the second.
     Status s1 = rdev.Write(0, 256, buf.data());

@@ -26,7 +26,7 @@ Result<ConfigResult> RunOne(Path path, bool usb, const std::vector<uint8_t>& pkg
   ConfigResult out;
   if (path == Path::kDriverlet) {
     Deployment d = MakeDeployment(pkg);
-    ReplayBlockDevice rdev(d.replayer.get(), usb ? kUsbEntry : kMmcEntry);
+    ReplayBlockDevice rdev(d.service.get(), d.session, usb ? kUsbEntry : kMmcEntry);
     CountingBlockDevice counter(&rdev);
     MiniDb db(&counter);
     DLT_RETURN_IF_ERROR(db.Open());

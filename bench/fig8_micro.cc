@@ -31,7 +31,7 @@ void BenchDriverlet(benchmark::State& state, bool usb, uint64_t rw) {
     args.scalars = {{"rw", rw}, {"blkcnt", blkcnt}, {"blkid", blkid}, {"flag", 0}};
     args.buffers["buf"] = BufferView{buf.data(), buf.size()};
     uint64_t t0 = d.tb->clock().now_us();
-    Result<ReplayStats> r = d.replayer->Invoke(usb ? kUsbEntry : kMmcEntry, args);
+    Result<ReplayStats> r = d.service->Invoke(d.session, usb ? kUsbEntry : kMmcEntry, args);
     uint64_t dt = d.tb->clock().now_us() - t0;
     if (!r.ok()) {
       state.SkipWithError(StatusName(r.status()));

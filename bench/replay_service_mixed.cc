@@ -1,0 +1,233 @@
+// Mixed-traffic service benchmark: one SecureWorld + ReplayService serving MMC
+// block IO, USB storage and camera captures through concurrently open sessions
+// — the production shape the session refactor targets. Two measurements:
+//
+//  1. Selection scaling: the same MMC request stream is replayed against a
+//     store holding only the MMC package, then again after USB + camera +
+//     display + touch more than double the template population. With the
+//     (driverlet, entry)-indexed TemplateStore the candidates examined per
+//     invoke must stay flat.
+//  2. Mixed traffic: MMC/USB/camera sessions interleaved round-robin, half the
+//     block requests through the bounded FIFO queue, half direct. Per-session
+//     stats and the service invoke-latency histogram (virtual time) feed
+//     BENCH_replay_service.json so future PRs have a perf trajectory.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/obs/telemetry.h"
+#include "src/tee/replay_service.h"
+
+namespace dlt {
+namespace {
+
+constexpr int kSelectionInvokes = 200;
+constexpr int kMixedRounds = 120;
+
+struct BlockClient {
+  SessionId session = 0;
+  const char* entry = nullptr;
+  uint64_t next_blkid = 2048;
+};
+
+ReplayArgs BlockArgs(BlockClient* c, uint64_t rw, uint64_t blkcnt, std::vector<uint8_t>* buf) {
+  ReplayArgs args;
+  args.scalars = {{"rw", rw}, {"blkcnt", blkcnt}, {"blkid", c->next_blkid}, {"flag", 0}};
+  args.buffers["buf"] = BufferView{buf->data(), static_cast<size_t>(blkcnt) * 512};
+  c->next_blkid += 4096;
+  return args;
+}
+
+// Drives the recorded MMC granularities in a fixed cycle; returns scans/invoke.
+double SelectionPhase(ReplayService* svc, BlockClient* mmc, std::vector<uint8_t>* buf) {
+  const uint64_t sizes[] = {1, 8, 32, 128, 256};
+  uint64_t scans0 = svc->store().candidates_scanned();
+  int ok = 0;
+  for (int i = 0; i < kSelectionInvokes; ++i) {
+    uint64_t blkcnt = sizes[i % 5];
+    uint64_t rw = (i % 2) == 0 ? kMmcRwRead : kMmcRwWrite;
+    if (svc->Invoke(mmc->session, mmc->entry, BlockArgs(mmc, rw, blkcnt, buf)).ok()) {
+      ++ok;
+    }
+  }
+  if (ok != kSelectionInvokes) {
+    std::fprintf(stderr, "selection phase: %d/%d invokes failed\n", kSelectionInvokes - ok,
+                 kSelectionInvokes);
+  }
+  return static_cast<double>(svc->store().candidates_scanned() - scans0) /
+         kSelectionInvokes;
+}
+
+void PrintHistJson(FILE* f, const char* key, const Histogram& h, const char* suffix) {
+  std::fprintf(f,
+               "  \"%s\": {\"count\": %llu, \"mean\": %.1f, \"p50\": %llu, "
+               "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}%s\n",
+               key, static_cast<unsigned long long>(h.count()), h.mean(),
+               static_cast<unsigned long long>(h.Percentile(50)),
+               static_cast<unsigned long long>(h.Percentile(90)),
+               static_cast<unsigned long long>(h.Percentile(99)),
+               static_cast<unsigned long long>(h.max()), suffix);
+}
+
+}  // namespace
+}  // namespace dlt
+
+int main() {
+  using namespace dlt;
+  Telemetry::Get().Enable();  // metrics sourced from src/obs (virtual time)
+
+  std::printf("Session-oriented replay service: mixed MMC + USB + camera traffic\n\n");
+  std::vector<uint8_t> mmc_pkg = BuildMmcPackage();
+  std::vector<uint8_t> usb_pkg = BuildUsbPackage();
+  std::vector<uint8_t> cam_pkg = BuildCameraPackage();
+  std::vector<uint8_t> disp_pkg = BuildDisplayPackage();
+  std::vector<uint8_t> touch_pkg = BuildTouchPackage();
+  if (mmc_pkg.empty() || usb_pkg.empty() || cam_pkg.empty() || disp_pkg.empty() ||
+      touch_pkg.empty()) {
+    std::fprintf(stderr, "record campaigns failed\n");
+    return 1;
+  }
+
+  TestbedOptions opts;
+  opts.secure_io = true;
+  opts.probe_drivers = false;
+  Rpi3Testbed tb{opts};
+  ReplayServiceConfig cfg;
+  cfg.max_sessions = 8;
+  cfg.queue_depth = 64;
+  ReplayService svc(&tb.tee(), kDeveloperKey, cfg);
+
+  // ---- Phase 1: MMC alone ----
+  if (!svc.RegisterDriverlet(mmc_pkg.data(), mmc_pkg.size()).ok()) {
+    return 1;
+  }
+  Result<SessionId> mmc_sid = svc.OpenSession("mmc");
+  if (!mmc_sid.ok()) {
+    return 1;
+  }
+  BlockClient mmc{*mmc_sid, kMmcEntry};
+  std::vector<uint8_t> block_buf(256 * 512, 0x5c);
+  size_t pop1 = svc.store().template_count();
+  double scans1 = SelectionPhase(&svc, &mmc, &block_buf);
+
+  // ---- Phase 2: population more than doubles; same request stream ----
+  if (!svc.RegisterDriverlet(usb_pkg.data(), usb_pkg.size()).ok() ||
+      !svc.RegisterDriverlet(cam_pkg.data(), cam_pkg.size()).ok() ||
+      !svc.RegisterDriverlet(disp_pkg.data(), disp_pkg.size()).ok() ||
+      !svc.RegisterDriverlet(touch_pkg.data(), touch_pkg.size()).ok()) {
+    return 1;
+  }
+  size_t pop2 = svc.store().template_count();
+  double scans2 = SelectionPhase(&svc, &mmc, &block_buf);
+  std::printf("selection cost: %.1f candidates/invoke over %zu templates, "
+              "%.1f over %zu templates (flat = index works)\n",
+              scans1, pop1, scans2, pop2);
+
+  // ---- Phase 3: mixed traffic through 4 sessions ----
+  Result<SessionId> mmc2_sid = svc.OpenSession("mmc");
+  Result<SessionId> usb_sid = svc.OpenSession("usb");
+  Result<SessionId> cam_sid = svc.OpenSession("camera");
+  if (!mmc2_sid.ok() || !usb_sid.ok() || !cam_sid.ok()) {
+    return 1;
+  }
+  BlockClient mmc2{*mmc2_sid, kMmcEntry};
+  BlockClient usb{*usb_sid, kUsbEntry};
+  std::vector<uint8_t> usb_buf(256 * 512, 0x33);
+  std::vector<uint8_t> cam_buf(Vc4Firmware::FrameBytes(1440) + 4096, 0);
+  std::vector<uint8_t> img_size(4, 0);
+
+  uint64_t t0 = tb.clock().now_us();
+  uint64_t mixed_failures = 0;
+  for (int round = 0; round < kMixedRounds; ++round) {
+    // Two block clients alternate direct invokes with the FIFO queue path.
+    uint64_t req1 = 0;
+    uint64_t req2 = 0;
+    if ((round % 2) == 0) {
+      Result<uint64_t> r1 =
+          svc.Submit(mmc.session, kMmcEntry, BlockArgs(&mmc, kMmcRwWrite, 32, &block_buf));
+      Result<uint64_t> r2 =
+          svc.Submit(usb.session, kUsbEntry, BlockArgs(&usb, kMmcRwWrite, 8, &usb_buf));
+      req1 = r1.ok() ? *r1 : 0;
+      req2 = r2.ok() ? *r2 : 0;
+    } else {
+      if (!svc.Invoke(mmc.session, kMmcEntry, BlockArgs(&mmc, kMmcRwRead, 32, &block_buf))
+               .ok()) {
+        ++mixed_failures;
+      }
+      if (!svc.Invoke(usb.session, kUsbEntry, BlockArgs(&usb, kMmcRwRead, 8, &usb_buf))
+               .ok()) {
+        ++mixed_failures;
+      }
+    }
+    // Second MMC client: single-block metadata-style IO.
+    if (!svc.Invoke(mmc2.session, kMmcEntry, BlockArgs(&mmc2, kMmcRwWrite, 1, &block_buf))
+             .ok()) {
+      ++mixed_failures;
+    }
+    // Camera one-shot every 4th round (captures dominate virtual time).
+    if ((round % 4) == 0) {
+      ReplayArgs cam_args;
+      cam_args.scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", cam_buf.size()}};
+      cam_args.buffers["buf"] = BufferView{cam_buf.data(), cam_buf.size()};
+      cam_args.buffers["img_size"] = BufferView{img_size.data(), img_size.size()};
+      if (!svc.Invoke(*cam_sid, kCameraEntry, cam_args).ok()) {
+        ++mixed_failures;
+      }
+    }
+    svc.ProcessQueued();
+    if (req1 != 0 && !svc.TakeCompletion(req1).ok()) {
+      ++mixed_failures;
+    }
+    if (req2 != 0 && !svc.TakeCompletion(req2).ok()) {
+      ++mixed_failures;
+    }
+  }
+  double elapsed_s = static_cast<double>(tb.clock().now_us() - t0) / 1e6;
+
+  MetricsRegistry& m = Telemetry::Get().metrics();
+  uint64_t ops = m.counter("service.invokes").value();
+  std::printf("mixed phase: %llu invokes over 4 sessions in %.2f simulated s "
+              "(%llu failures)\n",
+              static_cast<unsigned long long>(ops), elapsed_s,
+              static_cast<unsigned long long>(mixed_failures));
+  std::printf("sessions open=%zu, driverlets=%zu, queue backlog=%zu\n",
+              svc.open_sessions(), svc.registered_driverlets(), svc.queue_backlog());
+  for (SessionId sid : {mmc.session, mmc2.session, usb.session, *cam_sid}) {
+    Result<SessionStats> st = svc.Stats(sid);
+    if (st.ok()) {
+      std::printf("  session %llu (%s): invokes=%llu failures=%llu events=%llu "
+                  "resets=%llu queued=%llu\n",
+                  static_cast<unsigned long long>(sid), st->driverlet.c_str(),
+                  static_cast<unsigned long long>(st->invokes),
+                  static_cast<unsigned long long>(st->failures),
+                  static_cast<unsigned long long>(st->events_executed),
+                  static_cast<unsigned long long>(st->resets),
+                  static_cast<unsigned long long>(st->submitted));
+    }
+  }
+
+  // ---- BENCH_replay_service.json: the perf trajectory for future PRs ----
+  FILE* f = std::fopen("BENCH_replay_service.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_replay_service.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"ops\": %llu,\n", static_cast<unsigned long long>(ops));
+  std::fprintf(f, "  \"failures\": %llu,\n",
+               static_cast<unsigned long long>(mixed_failures));
+  std::fprintf(f, "  \"simulated_seconds\": %.3f,\n", elapsed_s);
+  PrintHistJson(f, "invoke_latency_us", m.histogram("service.invoke_us"), ",");
+  PrintHistJson(f, "queue_wait_us", m.histogram("service.queue_wait_us"), ",");
+  std::fprintf(f, "  \"per_driverlet_invokes\": {\"mmc\": %llu, \"usb\": %llu, \"camera\": %llu},\n",
+               static_cast<unsigned long long>(m.counter("service.invokes.mmc").value()),
+               static_cast<unsigned long long>(m.counter("service.invokes.usb").value()),
+               static_cast<unsigned long long>(m.counter("service.invokes.camera").value()));
+  std::fprintf(f,
+               "  \"selection\": {\"templates_small\": %zu, \"scans_per_invoke_small\": %.2f, "
+               "\"templates_large\": %zu, \"scans_per_invoke_large\": %.2f}\n",
+               pop1, scans1, pop2, scans2);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_replay_service.json\n");
+  return 0;
+}

@@ -5,7 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
-#include "src/core/replayer.h"
+#include "src/tee/replay_service.h"
 #include "src/workload/minidb.h"
 #include "src/workload/record_campaigns.h"
 #include "src/workload/replay_block_device.h"
@@ -43,12 +43,20 @@ int main() {
   opts.secure_io = true;
   opts.probe_drivers = false;
   Rpi3Testbed machine{opts};
-  Replayer replayer(&machine.tee(), kDeveloperKey);
-  if (!Ok(replayer.LoadPackage(pkg.data(), pkg.size()))) {
+  // The credential store is one client of the session-oriented secure IO
+  // service: it opens a session against the USB driverlet and issues every
+  // block access through it.
+  ReplayService service(&machine.tee(), kDeveloperKey);
+  Result<std::string> driverlet = service.RegisterDriverlet(pkg.data(), pkg.size());
+  if (!driverlet.ok()) {
+    return 1;
+  }
+  Result<SessionId> session = service.OpenSession(*driverlet);
+  if (!session.ok()) {
     return 1;
   }
 
-  ReplayBlockDevice dev(&replayer, kUsbEntry);
+  ReplayBlockDevice dev(&service, *session, kUsbEntry);
   MiniDb db(&dev);
   if (!Ok(db.Open())) {
     return 1;

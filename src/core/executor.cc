@@ -145,19 +145,46 @@ Status Executor::CheckConstraint(const TemplateEvent& e, size_t index, uint64_t 
   return Status::kOk;
 }
 
-Result<BufferView> Executor::ResolveBuffer(const TemplateEvent& e, uint64_t* offset,
-                                           uint64_t* len) const {
-  auto it = args_->buffers.find(e.buffer);
-  if (it == args_->buffers.end() || it->second.data == nullptr) {
+Status Executor::CheckBufferSpan(const ConstBufferView& buf, const TemplateEvent& e,
+                                 uint64_t* offset, uint64_t* len) const {
+  if (buf.data == nullptr) {
     return Status::kInvalidArg;
   }
   DLT_ASSIGN_OR_RETURN(*offset, EvalExpr(e.buf_offset));
   DLT_ASSIGN_OR_RETURN(*len, EvalExpr(e.value));
   // Boundary check trustlet-provided buffers (paper §5 security hardening).
-  if (*offset + *len < *offset || *offset + *len > it->second.len) {
+  if (*offset + *len < *offset || *offset + *len > buf.len) {
     return Status::kInvalidArg;
   }
+  return Status::kOk;
+}
+
+Result<BufferView> Executor::ResolveWritable(const TemplateEvent& e, uint64_t* offset,
+                                             uint64_t* len) const {
+  auto it = args_->buffers.find(e.buffer);
+  if (it == args_->buffers.end()) {
+    // The template wants to fill this buffer; a read-only view under the same
+    // name is a caller error, not a license to cast constness away.
+    return args_->ro_buffers.count(e.buffer) != 0 ? Status::kPermissionDenied
+                                                  : Status::kInvalidArg;
+  }
+  DLT_RETURN_IF_ERROR(CheckBufferSpan(it->second, e, offset, len));
   return it->second;
+}
+
+Result<ConstBufferView> Executor::ResolveReadable(const TemplateEvent& e, uint64_t* offset,
+                                                  uint64_t* len) const {
+  auto it = args_->buffers.find(e.buffer);
+  if (it != args_->buffers.end()) {
+    DLT_RETURN_IF_ERROR(CheckBufferSpan(it->second, e, offset, len));
+    return ConstBufferView(it->second);
+  }
+  auto ro = args_->ro_buffers.find(e.buffer);
+  if (ro == args_->ro_buffers.end()) {
+    return Status::kInvalidArg;
+  }
+  DLT_RETURN_IF_ERROR(CheckBufferSpan(ro->second, e, offset, len));
+  return ro->second;
 }
 
 Status Executor::RunOne(const TemplateEvent& e, size_t index, DivergenceReport* report) {
@@ -217,14 +244,14 @@ Status Executor::ExecuteOne(const TemplateEvent& e, size_t index, DivergenceRepo
     case EventKind::kCopyFromDma: {
       uint64_t off = 0;
       uint64_t len = 0;
-      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveWritable(e, &off, &len));
       DLT_ASSIGN_OR_RETURN(PhysAddr src, EvalAddr(e.addr, len));
       return ctx_->MemCopyOut(buf.data + off, src, len);
     }
     case EventKind::kPioIn: {
       uint64_t off = 0;
       uint64_t len = 0;
-      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveWritable(e, &off, &len));
       for (uint64_t done = 0; done < len; done += 4) {
         DLT_ASSIGN_OR_RETURN(uint32_t w, ctx_->RegRead32(e.device, e.reg_off));
         size_t take = static_cast<size_t>(std::min<uint64_t>(4, len - done));
@@ -249,14 +276,14 @@ Status Executor::ExecuteOne(const TemplateEvent& e, size_t index, DivergenceRepo
     case EventKind::kCopyToDma: {
       uint64_t off = 0;
       uint64_t len = 0;
-      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      DLT_ASSIGN_OR_RETURN(ConstBufferView buf, ResolveReadable(e, &off, &len));
       DLT_ASSIGN_OR_RETURN(PhysAddr dst, EvalAddr(e.addr, len));
       return ctx_->MemCopyIn(dst, buf.data + off, len);
     }
     case EventKind::kPioOut: {
       uint64_t off = 0;
       uint64_t len = 0;
-      DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveBuffer(e, &off, &len));
+      DLT_ASSIGN_OR_RETURN(ConstBufferView buf, ResolveReadable(e, &off, &len));
       for (uint64_t done = 0; done < len; done += 4) {
         uint32_t w = 0;
         size_t take = static_cast<size_t>(std::min<uint64_t>(4, len - done));

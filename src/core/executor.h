@@ -8,8 +8,8 @@
 #include <vector>
 
 #include "src/core/interaction_template.h"
+#include "src/core/replay_args.h"
 #include "src/core/replay_context.h"
-#include "src/core/replayer.h"
 
 namespace dlt {
 
@@ -37,7 +37,16 @@ class Executor {
                       DivergenceReport* report);
   void FillDivergence(const TemplateEvent& e, size_t index, uint64_t observed,
                       DivergenceReport* report) const;
-  Result<BufferView> ResolveBuffer(const TemplateEvent& e, uint64_t* offset, uint64_t* len) const;
+  // Buffer resolution is const-correct: events that store into the program
+  // buffer (kCopyFromDma, kPioIn) need a writable view and are refused with
+  // kPermissionDenied when the trustlet passed the buffer read-only; events
+  // that only consume bytes (kCopyToDma, kPioOut) accept either flavour.
+  Result<BufferView> ResolveWritable(const TemplateEvent& e, uint64_t* offset,
+                                     uint64_t* len) const;
+  Result<ConstBufferView> ResolveReadable(const TemplateEvent& e, uint64_t* offset,
+                                          uint64_t* len) const;
+  Status CheckBufferSpan(const ConstBufferView& buf, const TemplateEvent& e, uint64_t* offset,
+                         uint64_t* len) const;
 
   ReplayContext* ctx_;
   const InteractionTemplate* tpl_;

@@ -7,7 +7,15 @@
 namespace dlt {
 
 Replayer::Replayer(ReplayContext* ctx, std::string signing_key)
-    : ctx_(ctx), signing_key_(std::move(signing_key)) {}
+    : ctx_(ctx), signing_key_(std::move(signing_key)), store_(&owned_store_) {}
+
+Replayer::Replayer(ReplayContext* ctx, std::string signing_key, TemplateStore* store,
+                   std::string driverlet)
+    : ctx_(ctx),
+      signing_key_(std::move(signing_key)),
+      store_(store),
+      scope_(std::move(driverlet)),
+      driverlet_name_(scope_) {}
 
 Status Replayer::LoadPackage(const uint8_t* data, size_t len) {
   DLT_ASSIGN_OR_RETURN(DriverletPackage pkg, OpenPackage(data, len, signing_key_));
@@ -15,64 +23,30 @@ Status Replayer::LoadPackage(const uint8_t* data, size_t len) {
 }
 
 Status Replayer::LoadPackage(const DriverletPackage& pkg) {
+  if (!scope_.empty() && pkg.driverlet != scope_) {
+    return Status::kInvalidArg;  // scoped replayers serve exactly one driverlet
+  }
+  DLT_RETURN_IF_ERROR(store_->AddPackage(pkg));
   driverlet_name_ = pkg.driverlet;
-  templates_ = pkg.templates;
   return Status::kOk;
 }
 
-Result<const InteractionTemplate*> Replayer::SelectTemplate(std::string_view entry,
-                                                            const ReplayArgs& args) const {
-  const InteractionTemplate* selected = nullptr;
-  for (const auto& t : templates_) {
-    if (t.entry != entry) {
-      continue;
-    }
-    Bindings bindings;
-    bool have_all = true;
-    for (const auto& p : t.params) {
-      if (p.is_buffer) {
-        continue;
-      }
-      auto it = args.scalars.find(p.name);
-      if (it == args.scalars.end()) {
-        have_all = false;
-        break;
-      }
-      bindings[p.name] = it->second;
-    }
-    if (!have_all) {
-      return Status::kInvalidArg;
-    }
-    Result<bool> ok = t.initial.Eval(bindings);
-    if (!ok.ok()) {
-      continue;  // constraint over non-initial symbols cannot gate selection
-    }
-    Telemetry& tel = Telemetry::Get();
-    if (tel.enabled() && !*ok) {
-      tel.Instant(TraceKind::kTemplateRejected, ctx_->TimestampUs(), t.name, 0, 0,
-                  t.primary_device);
-    }
-    if (*ok) {
-      if (selected != nullptr) {
-        // By construction no two templates cover the same inputs (the recorder
-        // merges same-path templates, §4.3); tolerate but warn.
-        DLT_LOG(kWarn) << "template selection ambiguous: " << selected->name << " vs " << t.name;
-        continue;
-      }
-      selected = &t;
-    }
+std::vector<const InteractionTemplate*> Replayer::templates() const {
+  if (!scope_.empty()) {
+    return store_->templates(scope_);
   }
-  if (selected == nullptr) {
-    return Status::kNoTemplate;
-  }
-  return selected;
+  return store_->templates();
 }
 
 Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& args) {
   Telemetry& tel = Telemetry::Get();
   uint64_t invoke_t0 = tel.enabled() ? ctx_->TimestampUs() : 0;
 
-  Result<const InteractionTemplate*> sel = SelectTemplate(entry, args);
+  // Selection goes through the store's (driverlet, entry) index; args.scalars
+  // doubles as the constraint bindings (no per-invoke rebuild).
+  std::vector<const InteractionTemplate*> rejected;
+  Result<const InteractionTemplate*> sel =
+      store_->Select(scope_, entry, args.scalars, tel.enabled() ? &rejected : nullptr);
   if (!sel.ok()) {
     if (tel.enabled() && sel.status() == Status::kNoTemplate) {
       tel.metrics().counter("replay.template_miss").Inc();
@@ -81,6 +55,10 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
   }
   const InteractionTemplate* tpl = *sel;
   if (tel.enabled()) {
+    for (const InteractionTemplate* r : rejected) {
+      tel.Instant(TraceKind::kTemplateRejected, ctx_->TimestampUs(), r->name, 0, 0,
+                  r->primary_device);
+    }
     tel.metrics().counter("replay.template_hit").Inc();
     tel.Instant(TraceKind::kTemplateSelected, ctx_->TimestampUs(), tpl->name, 0, 0,
                 tpl->primary_device);

@@ -1,58 +1,42 @@
-// The in-TEE replayer (paper §5): verifies and loads a driverlet package,
-// selects an interaction template by constraint matching, instantiates it, and
+// The in-TEE replayer (paper §5): selects an interaction template by
+// constraint matching through an indexed TemplateStore, instantiates it, and
 // executes its events with a transactional, single-threaded executor. Device
 // state divergence triggers soft reset + bounded re-execution; persistent
 // divergence aborts with a rewound event report.
+//
+// A replayer either owns a private store (standalone use: one trustlet, its
+// own packages) or attaches to a shared store scoped to one driverlet — the
+// ReplayService wires one such replayer per mapped device class over a single
+// multi-package store. Loading a package *adds* it to the store; it never
+// overwrites previously loaded driverlets.
 #ifndef SRC_CORE_REPLAYER_H_
 #define SRC_CORE_REPLAYER_H_
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "src/core/interaction_template.h"
 #include "src/core/package.h"
+#include "src/core/replay_args.h"
 #include "src/core/replay_context.h"
+#include "src/core/template_store.h"
 
 namespace dlt {
 
-struct BufferView {
-  uint8_t* data = nullptr;
-  size_t len = 0;
-};
-
-struct ReplayArgs {
-  std::map<std::string, uint64_t> scalars;
-  std::map<std::string, BufferView> buffers;
-};
-
-struct ReplayStats {
-  std::string template_name;
-  int attempts = 0;
-  size_t events_executed = 0;
-  int resets = 0;
-};
-
-// Diagnostic produced when the executor gives up: the divergent event plus the
-// rewound prefix, each with its recording site (paper §5, §7.2 fault injection).
-struct DivergenceReport {
-  bool valid = false;
-  std::string template_name;
-  size_t event_index = 0;
-  std::string event_desc;
-  std::string file;
-  int line = 0;
-  uint64_t observed = 0;
-  std::string expected_constraint;
-  std::vector<std::string> rewound;  // "<kind> <iface> @file:line" oldest-first
-};
-
 class Replayer {
  public:
-  // |signing_key| is the developer key packages must verify against.
+  // Standalone replayer owning a private TemplateStore. |signing_key| is the
+  // developer key packages must verify against.
   Replayer(ReplayContext* ctx, std::string signing_key);
 
-  // Verifies the signature, decompresses and parses the package in-TEE.
+  // Service-wired replayer over a shared |store| (not owned, must outlive
+  // this), restricted to |driverlet|: selection only considers templates that
+  // driverlet's packages registered, and LoadPackage refuses other packages.
+  Replayer(ReplayContext* ctx, std::string signing_key, TemplateStore* store,
+           std::string driverlet);
+
+  // Verifies the signature, decompresses and parses the package in-TEE, then
+  // adds it to the store. Reloading a driverlet replaces only that driverlet.
   Status LoadPackage(const uint8_t* data, size_t len);
   Status LoadPackage(const DriverletPackage& pkg);  // pre-parsed (tests)
 
@@ -61,8 +45,12 @@ class Replayer {
   // uncovered. kAborted after max_attempts divergences.
   Result<ReplayStats> Invoke(std::string_view entry, const ReplayArgs& args);
 
-  const std::vector<InteractionTemplate>& templates() const { return templates_; }
+  // Templates visible to this replayer (the scoped driverlet's, or every
+  // loaded package's for a standalone replayer), in load order.
+  std::vector<const InteractionTemplate*> templates() const;
   const std::string& driverlet_name() const { return driverlet_name_; }
+  TemplateStore& store() { return *store_; }
+  const TemplateStore& store() const { return *store_; }
   const DivergenceReport& last_report() const { return report_; }
 
   int max_attempts() const { return max_attempts_; }
@@ -78,13 +66,12 @@ class Replayer {
   uint64_t total_resets() const { return total_resets_; }
 
  private:
-  Result<const InteractionTemplate*> SelectTemplate(std::string_view entry,
-                                                    const ReplayArgs& args) const;
-
   ReplayContext* ctx_;
   std::string signing_key_;
+  TemplateStore owned_store_;
+  TemplateStore* store_;   // &owned_store_ unless attached to a shared store
+  std::string scope_;      // restrict selection to this driverlet; empty = any
   std::string driverlet_name_;
-  std::vector<InteractionTemplate> templates_;
   DivergenceReport report_;
   int max_attempts_ = 3;
   bool reset_between_templates_ = true;

@@ -1,0 +1,219 @@
+#include "src/core/template_store.h"
+
+#include <algorithm>
+
+#include "src/soc/log.h"
+
+namespace dlt {
+
+namespace {
+
+// Register-interface events are the ones that name a device; walk poll bodies
+// too so nested PIO drains are accounted for.
+void CollectDevices(const std::vector<TemplateEvent>& events, std::set<uint16_t>* out) {
+  for (const TemplateEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kRegRead:
+      case EventKind::kRegWrite:
+      case EventKind::kPollReg:
+      case EventKind::kPioIn:
+      case EventKind::kPioOut:
+        out->insert(e.device);
+        break;
+      default:
+        break;
+    }
+    if (!e.body.empty()) {
+      CollectDevices(e.body, out);
+    }
+  }
+}
+
+}  // namespace
+
+Status TemplateStore::AddPackage(const uint8_t* data, size_t len,
+                                 std::string_view signing_key) {
+  DLT_ASSIGN_OR_RETURN(DriverletPackage pkg, OpenPackage(data, len, signing_key));
+  return AddPackage(pkg);
+}
+
+Status TemplateStore::AddPackage(const DriverletPackage& pkg) {
+  if (pkg.driverlet.empty()) {
+    return Status::kInvalidArg;
+  }
+  // Reloading a driverlet replaces that driverlet only; drop its old slots.
+  if (by_driverlet_.count(pkg.driverlet) != 0) {
+    for (auto it = index_.begin(); it != index_.end();) {
+      if (it->first.first == pkg.driverlet) {
+        auto& slots = by_entry_[it->first.second];
+        slots.erase(std::remove(slots.begin(), slots.end(), &it->second), slots.end());
+        it = index_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  } else {
+    load_order_.push_back(pkg.driverlet);
+  }
+
+  std::deque<InteractionTemplate>& owned = by_driverlet_[pkg.driverlet];
+  owned.assign(pkg.templates.begin(), pkg.templates.end());
+
+  std::set<uint16_t>& devs = devices_[pkg.driverlet];
+  devs.clear();
+  for (const InteractionTemplate& t : owned) {
+    devs.insert(t.primary_device);
+    CollectDevices(t.events, &devs);
+
+    auto [it, inserted] = index_.try_emplace(std::make_pair(pkg.driverlet, t.entry));
+    EntrySlot& slot = it->second;
+    if (inserted) {
+      slot.driverlet = pkg.driverlet;
+      slot.entry = t.entry;
+      by_entry_[t.entry].push_back(&slot);
+    }
+    Candidate c;
+    c.tpl = &t;
+    c.scalar_params = t.ScalarParams();  // precompiled: never rebuilt per invoke
+    slot.candidates.push_back(std::move(c));
+  }
+  return Status::kOk;
+}
+
+bool TemplateStore::HasDriverlet(std::string_view driverlet) const {
+  return by_driverlet_.find(driverlet) != by_driverlet_.end();
+}
+
+size_t TemplateStore::template_count() const {
+  size_t n = 0;
+  for (const auto& [name, templates] : by_driverlet_) {
+    n += templates.size();
+  }
+  return n;
+}
+
+std::vector<std::string> TemplateStore::driverlets() const { return load_order_; }
+
+std::vector<const InteractionTemplate*> TemplateStore::templates() const {
+  std::vector<const InteractionTemplate*> out;
+  for (const std::string& name : load_order_) {
+    auto it = by_driverlet_.find(name);
+    for (const InteractionTemplate& t : it->second) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+std::vector<const InteractionTemplate*> TemplateStore::templates(
+    std::string_view driverlet) const {
+  std::vector<const InteractionTemplate*> out;
+  auto it = by_driverlet_.find(driverlet);
+  if (it == by_driverlet_.end()) {
+    return out;
+  }
+  for (const InteractionTemplate& t : it->second) {
+    out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<uint16_t> TemplateStore::PackageDevices(const DriverletPackage& pkg) {
+  std::set<uint16_t> devs;
+  for (const InteractionTemplate& t : pkg.templates) {
+    devs.insert(t.primary_device);
+    CollectDevices(t.events, &devs);
+  }
+  return std::vector<uint16_t>(devs.begin(), devs.end());
+}
+
+std::vector<uint16_t> TemplateStore::DevicesOf(std::string_view driverlet) const {
+  auto it = devices_.find(driverlet);
+  if (it == devices_.end()) {
+    return {};
+  }
+  return std::vector<uint16_t>(it->second.begin(), it->second.end());
+}
+
+const TemplateStore::EntrySlot* TemplateStore::FindSlot(std::string_view driverlet,
+                                                        std::string_view entry) const {
+  // index_ is keyed by std::pair<std::string, std::string>; avoid constructing
+  // the pair key for the common scoped lookup via the secondary index.
+  auto it = by_entry_.find(entry);
+  if (it == by_entry_.end()) {
+    return nullptr;
+  }
+  for (const EntrySlot* slot : it->second) {
+    if (slot->driverlet == driverlet) {
+      return slot;
+    }
+  }
+  return nullptr;
+}
+
+Result<const InteractionTemplate*> TemplateStore::Select(
+    std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+    std::vector<const InteractionTemplate*>* rejected) const {
+  const EntrySlot* single = nullptr;
+  const std::vector<const EntrySlot*>* many = nullptr;
+  if (!driverlet.empty()) {
+    single = FindSlot(driverlet, entry);
+    if (single == nullptr) {
+      return Status::kNoTemplate;
+    }
+  } else {
+    auto it = by_entry_.find(entry);
+    if (it == by_entry_.end() || it->second.empty()) {
+      return Status::kNoTemplate;
+    }
+    many = &it->second;
+  }
+
+  const InteractionTemplate* selected = nullptr;
+  uint64_t scanned = 0;
+  size_t slot_count = single != nullptr ? 1 : many->size();
+  for (size_t si = 0; si < slot_count; ++si) {
+    const EntrySlot* slot = single != nullptr ? single : (*many)[si];
+    for (const Candidate& c : slot->candidates) {
+      ++scanned;
+      // A template whose param set this invoke does not provide cannot match;
+      // skip it and keep considering the rest (same-entry templates may bind
+      // different param sets).
+      bool have_all = true;
+      for (const std::string& p : c.scalar_params) {
+        if (scalars.find(p) == scalars.end()) {
+          have_all = false;
+          break;
+        }
+      }
+      if (!have_all) {
+        continue;
+      }
+      Result<bool> ok = c.tpl->initial.Eval(scalars);
+      if (!ok.ok()) {
+        continue;  // constraint over non-initial symbols cannot gate selection
+      }
+      if (!*ok) {
+        if (rejected != nullptr) {
+          rejected->push_back(c.tpl);
+        }
+        continue;
+      }
+      if (selected != nullptr) {
+        // By construction no two templates cover the same inputs (the recorder
+        // merges same-path templates, §4.3); tolerate but warn.
+        DLT_LOG(kWarn) << "template selection ambiguous: " << selected->name << " vs "
+                       << c.tpl->name;
+        continue;
+      }
+      selected = c.tpl;
+    }
+  }
+  candidates_scanned_.fetch_add(scanned, std::memory_order_relaxed);
+  if (selected == nullptr) {
+    return Status::kNoTemplate;
+  }
+  return selected;
+}
+
+}  // namespace dlt

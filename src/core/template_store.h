@@ -1,0 +1,97 @@
+// TemplateStore: the indexed template population behind the replay pipeline.
+// Holds interaction templates from *multiple* loaded driverlet packages keyed
+// by (driverlet, entry); loading a second package never evicts the first (the
+// old Replayer::LoadPackage overwrite semantics are gone). Selection resolves
+// an entry through the index and scans only that entry's candidates — cost is
+// independent of how many other packages/entries are loaded — using per-entry
+// candidate lists whose scalar-param requirements are precompiled at load time.
+#ifndef SRC_CORE_TEMPLATE_STORE_H_
+#define SRC_CORE_TEMPLATE_STORE_H_
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/core/interaction_template.h"
+#include "src/core/package.h"
+
+namespace dlt {
+
+class TemplateStore {
+ public:
+  // One selectable template plus everything precompiled about it at load time.
+  struct Candidate {
+    const InteractionTemplate* tpl = nullptr;
+    // Scalar params the initial constraints bind, in declaration order. A
+    // candidate whose params are not all present in the invoke args is skipped
+    // (it cannot match), never an argument error — other same-entry templates
+    // with a different param set remain eligible.
+    std::vector<std::string> scalar_params;
+  };
+
+  // Verifies, decompresses and parses a sealed package, then adds it.
+  Status AddPackage(const uint8_t* data, size_t len, std::string_view signing_key);
+  // Adds (or, for an already-loaded driverlet, atomically replaces) one
+  // driverlet's templates. Replacement is per-driverlet only: other loaded
+  // packages are untouched.
+  Status AddPackage(const DriverletPackage& pkg);
+
+  bool HasDriverlet(std::string_view driverlet) const;
+  size_t package_count() const { return by_driverlet_.size(); }
+  size_t template_count() const;
+  std::vector<std::string> driverlets() const;
+
+  // All templates in load order, optionally restricted to one driverlet.
+  std::vector<const InteractionTemplate*> templates() const;
+  std::vector<const InteractionTemplate*> templates(std::string_view driverlet) const;
+
+  // Device ids referenced by a driverlet's templates (primary reset devices
+  // plus every register-touching event) — the service's admission check.
+  std::vector<uint16_t> DevicesOf(std::string_view driverlet) const;
+  // Same, computed from a not-yet-loaded package (admission before load).
+  static std::vector<uint16_t> PackageDevices(const DriverletPackage& pkg);
+
+  // Selects the template registered under (driverlet, entry) whose initial
+  // constraints accept |scalars|. An empty |driverlet| considers every package
+  // that registered the entry. kNoTemplate when nothing covers the input.
+  // When |rejected| is non-null, candidates whose constraints evaluated false
+  // are appended (telemetry); param-set mismatches are not reported there.
+  Result<const InteractionTemplate*> Select(
+      std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+      std::vector<const InteractionTemplate*>* rejected = nullptr) const;
+
+  // Cumulative number of candidates examined by Select — the mixed-traffic
+  // bench divides this by invokes to show selection cost stays flat as the
+  // template population grows.
+  uint64_t candidates_scanned() const {
+    return candidates_scanned_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct EntrySlot {
+    std::string driverlet;
+    std::string entry;
+    std::vector<Candidate> candidates;
+  };
+
+  const EntrySlot* FindSlot(std::string_view driverlet, std::string_view entry) const;
+
+  // Owning storage; deque gives stable template addresses across AddPackage.
+  std::map<std::string, std::deque<InteractionTemplate>, std::less<>> by_driverlet_;
+  // Primary index, keyed (driverlet, entry).
+  std::map<std::pair<std::string, std::string>, EntrySlot> index_;
+  // Secondary index for driverlet-agnostic lookup: entry → slots, load order.
+  std::map<std::string, std::vector<const EntrySlot*>, std::less<>> by_entry_;
+  // Devices each driverlet's templates touch, collected at load time.
+  std::map<std::string, std::set<uint16_t>, std::less<>> devices_;
+  std::vector<std::string> load_order_;
+
+  mutable std::atomic<uint64_t> candidates_scanned_{0};
+};
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_TEMPLATE_STORE_H_

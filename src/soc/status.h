@@ -24,6 +24,7 @@ enum class Status : int {
   kUnsupported,
   kNoMemory,
   kAborted,           // gave up after bounded divergence retries
+  kBusy,              // service backpressure: session table or request queue full
 };
 
 inline const char* StatusName(Status s) {
@@ -42,6 +43,7 @@ inline const char* StatusName(Status s) {
     case Status::kUnsupported: return "unsupported";
     case Status::kNoMemory: return "no-memory";
     case Status::kAborted: return "aborted";
+    case Status::kBusy: return "busy";
   }
   return "unknown";
 }

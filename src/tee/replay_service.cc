@@ -1,0 +1,198 @@
+#include "src/tee/replay_service.h"
+
+#include <utility>
+
+#include "src/obs/telemetry.h"
+#include "src/soc/log.h"
+
+namespace dlt {
+
+ReplayService::ReplayService(SecureWorld* tee, std::string signing_key,
+                             ReplayServiceConfig cfg)
+    : tee_(tee), signing_key_(std::move(signing_key)), cfg_(cfg) {}
+
+Result<std::string> ReplayService::RegisterDriverlet(const uint8_t* data, size_t len) {
+  DLT_ASSIGN_OR_RETURN(DriverletPackage pkg, OpenPackage(data, len, signing_key_));
+  return RegisterDriverlet(pkg);
+}
+
+Result<std::string> ReplayService::RegisterDriverlet(const DriverletPackage& pkg) {
+  // Admission: every device the templates touch must already be mapped into
+  // this SecureWorld — a package naming an unmapped device would fail deep in
+  // replay; refuse it at the door instead.
+  for (uint16_t dev : TemplateStore::PackageDevices(pkg)) {
+    if (!tee_->DeviceMapped(dev)) {
+      DLT_LOG(kWarn) << "driverlet " << pkg.driverlet << " refused: device " << dev
+                     << " not mapped into the TEE";
+      return Status::kPermissionDenied;
+    }
+  }
+  auto it = replayers_.find(pkg.driverlet);
+  if (it == replayers_.end()) {
+    auto replayer =
+        std::make_unique<Replayer>(tee_, signing_key_, &store_, pkg.driverlet);
+    DLT_RETURN_IF_ERROR(replayer->LoadPackage(pkg));
+    replayers_.emplace(pkg.driverlet, std::move(replayer));
+  } else {
+    // Re-registering a device class replaces its templates only.
+    DLT_RETURN_IF_ERROR(it->second->LoadPackage(pkg));
+  }
+  Telemetry& tel = Telemetry::Get();
+  if (tel.enabled()) {
+    tel.metrics().counter("service.packages_registered").Inc();
+  }
+  return pkg.driverlet;
+}
+
+bool ReplayService::IsRegistered(std::string_view driverlet) const {
+  return replayers_.find(driverlet) != replayers_.end();
+}
+
+Replayer* ReplayService::replayer(std::string_view driverlet) {
+  auto it = replayers_.find(driverlet);
+  return it == replayers_.end() ? nullptr : it->second.get();
+}
+
+Result<SessionId> ReplayService::OpenSession(std::string_view driverlet) {
+  Telemetry& tel = Telemetry::Get();
+  auto it = replayers_.find(driverlet);
+  if (it == replayers_.end()) {
+    if (tel.enabled()) {
+      tel.metrics().counter("service.sessions_rejected").Inc();
+    }
+    return Status::kNotFound;  // admission: only verified, registered packages
+  }
+  if (sessions_.size() >= cfg_.max_sessions) {
+    if (tel.enabled()) {
+      tel.metrics().counter("service.sessions_rejected").Inc();
+    }
+    return Status::kBusy;
+  }
+  SessionId id = next_session_++;
+  Session& s = sessions_[id];
+  s.driverlet = it->first;
+  s.stats.driverlet = it->first;
+  s.stats.opened_us = tee_->TimestampUs();
+  if (tel.enabled()) {
+    tel.metrics().counter("service.sessions_opened").Inc();
+  }
+  return id;
+}
+
+Status ReplayService::CloseSession(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  sessions_.erase(it);
+  // Requests still queued under this session complete as kNotFound when
+  // processed — the submitter learns its session died, FIFO order is kept.
+  Telemetry& tel = Telemetry::Get();
+  if (tel.enabled()) {
+    tel.metrics().counter("service.sessions_closed").Inc();
+  }
+  return Status::kOk;
+}
+
+Result<ReplayStats> ReplayService::DoInvoke(Session& s, std::string_view entry,
+                                            const ReplayArgs& args) {
+  Replayer* rep = replayer(s.driverlet);
+  if (rep == nullptr) {
+    return Status::kBadState;  // registration cannot be revoked; defensive
+  }
+  Telemetry& tel = Telemetry::Get();
+  uint64_t t0 = tel.enabled() ? tee_->TimestampUs() : 0;
+  Result<ReplayStats> r = rep->Invoke(entry, args);
+  ++s.stats.invokes;
+  s.stats.last_invoke_us = tee_->TimestampUs();
+  if (r.ok()) {
+    s.stats.events_executed += r->events_executed;
+    s.stats.resets += static_cast<uint64_t>(r->resets);
+    s.stats.attempts += static_cast<uint64_t>(r->attempts);
+    ++s.stats.per_template[r->template_name];
+  } else {
+    ++s.stats.failures;
+  }
+  if (tel.enabled()) {
+    tel.metrics().counter("service.invokes").Inc();
+    tel.metrics().counter("service.invokes." + s.driverlet).Inc();
+    if (!r.ok()) {
+      tel.metrics().counter("service.failures").Inc();
+    }
+    tel.metrics().histogram("service.invoke_us").Record(tee_->TimestampUs() - t0);
+  }
+  return r;
+}
+
+Result<ReplayStats> ReplayService::Invoke(SessionId id, std::string_view entry,
+                                          const ReplayArgs& args) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  return DoInvoke(it->second, entry, args);
+}
+
+Result<uint64_t> ReplayService::Submit(SessionId id, std::string entry, ReplayArgs args) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  if (queue_.size() >= cfg_.queue_depth) {
+    Telemetry& tel = Telemetry::Get();
+    if (tel.enabled()) {
+      tel.metrics().counter("service.queue_rejects").Inc();
+    }
+    return Status::kBusy;
+  }
+  Pending p;
+  p.id = next_request_++;
+  p.session = id;
+  p.entry = std::move(entry);
+  p.args = std::move(args);
+  p.submit_us = tee_->TimestampUs();
+  queue_.push_back(std::move(p));
+  ++it->second.stats.submitted;
+  return queue_.back().id;
+}
+
+size_t ReplayService::ProcessQueued(size_t max_requests) {
+  Telemetry& tel = Telemetry::Get();
+  size_t processed = 0;
+  while (processed < max_requests && !queue_.empty()) {
+    Pending p = std::move(queue_.front());
+    queue_.pop_front();
+    if (tel.enabled()) {
+      tel.metrics().histogram("service.queue_wait_us").Record(tee_->TimestampUs() -
+                                                              p.submit_us);
+    }
+    auto it = sessions_.find(p.session);
+    if (it == sessions_.end()) {
+      completions_.emplace(p.id, Result<ReplayStats>(Status::kNotFound));
+    } else {
+      completions_.emplace(p.id, DoInvoke(it->second, p.entry, p.args));
+    }
+    ++processed;
+  }
+  return processed;
+}
+
+Result<ReplayStats> ReplayService::TakeCompletion(uint64_t request_id) {
+  auto it = completions_.find(request_id);
+  if (it == completions_.end()) {
+    return Status::kNotFound;
+  }
+  Result<ReplayStats> r = std::move(it->second);
+  completions_.erase(it);
+  return r;
+}
+
+Result<SessionStats> ReplayService::Stats(SessionId id) const {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  return it->second.stats;
+}
+
+}  // namespace dlt

@@ -1,0 +1,130 @@
+// ReplayService: the session-oriented secure IO service hosted by one
+// SecureWorld. Clients open *sessions* against registered driverlets and issue
+// commands through them, GlobalPlatform-style (OpenSession → Invoke →
+// CloseSession), so multiple normal-world clients — an MMC block device, USB
+// storage, a camera pipeline — coexist over a single TEE instance.
+//
+// The service owns one shared multi-package TemplateStore and one Replayer per
+// registered device class; selection is indexed by (driverlet, entry), so its
+// cost does not grow with the number of other registered packages.
+//
+// Admission: a package registers only if its signature verifies and every
+// device its templates touch is mapped into the SecureWorld; a session opens
+// only against a registered driverlet and while the session table has room.
+// Backpressure is explicit: a full session table or request queue returns
+// kBusy, never blocks.
+//
+// Request queue: Submit enqueues into a bounded FIFO shared by all sessions;
+// ProcessQueued drains in submission order (the simulated single-core TEE
+// serializes execution, as the paper's replayer does); completions are picked
+// up by request id. Buffer views inside queued ReplayArgs are borrowed — the
+// caller keeps them alive until the completion is taken.
+#ifndef SRC_TEE_REPLAY_SERVICE_H_
+#define SRC_TEE_REPLAY_SERVICE_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "src/core/replayer.h"
+#include "src/core/template_store.h"
+#include "src/tee/secure_world.h"
+
+namespace dlt {
+
+using SessionId = uint64_t;
+
+struct ReplayServiceConfig {
+  size_t max_sessions = 16;
+  size_t queue_depth = 32;  // bounded FIFO across all sessions
+};
+
+// Per-session accounting, aggregated from each invoke's ReplayStats.
+struct SessionStats {
+  std::string driverlet;
+  uint64_t invokes = 0;           // completed Invoke calls (direct + queued)
+  uint64_t failures = 0;          // invokes that returned an error
+  uint64_t events_executed = 0;
+  uint64_t resets = 0;
+  uint64_t attempts = 0;          // execution attempts incl. divergence retries
+  uint64_t submitted = 0;         // requests admitted into the FIFO
+  std::map<std::string, uint64_t> per_template;  // completed, by template name
+  uint64_t opened_us = 0;
+  uint64_t last_invoke_us = 0;
+};
+
+class ReplayService {
+ public:
+  ReplayService(SecureWorld* tee, std::string signing_key, ReplayServiceConfig cfg = {});
+
+  // Verifies + admission-checks + loads a driverlet package into the shared
+  // store, creating the device class's replayer on first registration.
+  // Returns the driverlet name. kCorrupt on signature/framing mismatch,
+  // kPermissionDenied when a referenced device is not mapped into the TEE.
+  Result<std::string> RegisterDriverlet(const uint8_t* data, size_t len);
+  Result<std::string> RegisterDriverlet(const DriverletPackage& pkg);
+
+  // ---- Session lifecycle ----
+  // kNotFound for an unregistered driverlet; kBusy when the table is full.
+  Result<SessionId> OpenSession(std::string_view driverlet);
+  Status CloseSession(SessionId id);
+
+  // Synchronous invoke on an open session. The entry must belong to the
+  // session's driverlet (scoped selection).
+  Result<ReplayStats> Invoke(SessionId id, std::string_view entry, const ReplayArgs& args);
+
+  // ---- Bounded FIFO request queue ----
+  // Enqueues a request; kBusy when the queue is full. Returns the request id.
+  Result<uint64_t> Submit(SessionId id, std::string entry, ReplayArgs args);
+  // Executes up to |max_requests| queued requests in FIFO order; requests of
+  // sessions closed after submission complete as kNotFound. Returns how many
+  // were processed.
+  size_t ProcessQueued(size_t max_requests = SIZE_MAX);
+  // Takes the completion for a processed request. kNotFound while the request
+  // is still queued or the id is unknown; each completion is taken once.
+  Result<ReplayStats> TakeCompletion(uint64_t request_id);
+
+  // ---- Introspection ----
+  Result<SessionStats> Stats(SessionId id) const;
+  size_t open_sessions() const { return sessions_.size(); }
+  size_t queue_backlog() const { return queue_.size(); }
+  size_t registered_driverlets() const { return replayers_.size(); }
+  bool IsRegistered(std::string_view driverlet) const;
+  TemplateStore& store() { return store_; }
+  const TemplateStore& store() const { return store_; }
+  // The device class's replayer (reset policy / retry knobs); nullptr when the
+  // driverlet is not registered.
+  Replayer* replayer(std::string_view driverlet);
+  SecureWorld* tee() { return tee_; }
+
+ private:
+  struct Session {
+    std::string driverlet;
+    SessionStats stats;
+  };
+  struct Pending {
+    uint64_t id = 0;
+    SessionId session = 0;
+    std::string entry;
+    ReplayArgs args;   // buffer views borrowed from the submitter
+    uint64_t submit_us = 0;
+  };
+
+  Result<ReplayStats> DoInvoke(Session& s, std::string_view entry, const ReplayArgs& args);
+
+  SecureWorld* tee_;
+  std::string signing_key_;
+  ReplayServiceConfig cfg_;
+  TemplateStore store_;
+  std::map<std::string, std::unique_ptr<Replayer>, std::less<>> replayers_;
+  std::map<SessionId, Session> sessions_;
+  std::deque<Pending> queue_;
+  std::map<uint64_t, Result<ReplayStats>> completions_;
+  SessionId next_session_ = 1;
+  uint64_t next_request_ = 1;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_TEE_REPLAY_SERVICE_H_

@@ -24,34 +24,44 @@ uint32_t PickChunk(uint32_t remaining) {
 }
 }  // namespace
 
-Status ReplayBlockDevice::DoOp(uint64_t rw, uint64_t lba, uint32_t count, uint8_t* buf) {
+Status ReplayBlockDevice::DoOp(uint64_t rw, uint64_t lba, uint32_t count, uint8_t* out,
+                               const uint8_t* in) {
   while (count > 0) {
     uint32_t chunk = PickChunk(count);
+    size_t chunk_bytes = static_cast<size_t>(chunk) * 512;
     ReplayArgs args;
     args.scalars["rw"] = rw;
     args.scalars["blkcnt"] = chunk;
     args.scalars["blkid"] = lba;
     args.scalars["flag"] = 0;
-    args.buffers["buf"] = BufferView{buf, static_cast<size_t>(chunk) * 512};
-    Result<ReplayStats> stats = replayer_->Invoke(entry_, args);
+    if (out != nullptr) {
+      args.buffers["buf"] = BufferView{out, chunk_bytes};
+    } else {
+      args.ro_buffers["buf"] = ConstBufferView{in, chunk_bytes};
+    }
+    Result<ReplayStats> stats = service_->Invoke(session_, entry_, args);
     if (!stats.ok()) {
       return stats.status();
     }
     ++invocations_[stats->template_name];
     ++ops_;
     lba += chunk;
-    buf += static_cast<size_t>(chunk) * 512;
+    if (out != nullptr) {
+      out += chunk_bytes;
+    } else {
+      in += chunk_bytes;
+    }
     count -= chunk;
   }
   return Status::kOk;
 }
 
 Status ReplayBlockDevice::Read(uint64_t lba, uint32_t count, uint8_t* out) {
-  return DoOp(kMmcRwRead, lba, count, out);
+  return DoOp(kMmcRwRead, lba, count, out, nullptr);
 }
 
 Status ReplayBlockDevice::Write(uint64_t lba, uint32_t count, const uint8_t* data) {
-  return DoOp(kMmcRwWrite, lba, count, const_cast<uint8_t*>(data));
+  return DoOp(kMmcRwWrite, lba, count, nullptr, data);
 }
 
 }  // namespace dlt

@@ -1,34 +1,41 @@
-// BlockDevice adapter over a driverlet Replayer: the storage path trustlets use
-// (paper §7.3.1: "the tests issue their disk accesses in TEE"). Requests are
-// split into chunks whose block counts the recorded templates cover; every
-// operation is synchronous — the overhead source the paper identifies (§7.3.2).
+// BlockDevice adapter over a ReplayService session: the storage path trustlets
+// use (paper §7.3.1: "the tests issue their disk accesses in TEE"). The device
+// holds one open session against its driverlet and issues every chunk through
+// the session-scoped Invoke. Requests are split into chunks whose block counts
+// the recorded templates cover; every operation is synchronous — the overhead
+// source the paper identifies (§7.3.2).
 #ifndef SRC_WORKLOAD_REPLAY_BLOCK_DEVICE_H_
 #define SRC_WORKLOAD_REPLAY_BLOCK_DEVICE_H_
 
 #include <string>
 
-#include "src/core/replayer.h"
 #include "src/kern/block_layer.h"
+#include "src/tee/replay_service.h"
 
 namespace dlt {
 
 class ReplayBlockDevice : public BlockDevice {
  public:
-  ReplayBlockDevice(Replayer* replayer, std::string entry)
-      : replayer_(replayer), entry_(std::move(entry)) {}
+  ReplayBlockDevice(ReplayService* service, SessionId session, std::string entry)
+      : service_(service), session_(session), entry_(std::move(entry)) {}
 
   Status Read(uint64_t lba, uint32_t count, uint8_t* out) override;
   Status Write(uint64_t lba, uint32_t count, const uint8_t* data) override;
   Status Flush() override { return Status::kOk; }  // every write is synchronous
   uint64_t io_ops() const override { return ops_; }
 
+  SessionId session() const { return session_; }
+
   // Per-template invocation counts, for the Table 9 breakdown.
   const std::map<std::string, uint64_t>& invocations() const { return invocations_; }
 
  private:
-  Status DoOp(uint64_t rw, uint64_t lba, uint32_t count, uint8_t* buf);
+  // Exactly one of |out| (read) / |in| (write) is set; the write payload stays
+  // const all the way down — the executor enforces the read-only view.
+  Status DoOp(uint64_t rw, uint64_t lba, uint32_t count, uint8_t* out, const uint8_t* in);
 
-  Replayer* replayer_;
+  ReplayService* service_;
+  SessionId session_;
   std::string entry_;
   uint64_t ops_ = 0;
   std::map<std::string, uint64_t> invocations_;

@@ -1,0 +1,344 @@
+// ReplayService + TemplateStore tests: multi-package loading, session routing
+// and per-session stats, admission policy, bounded FIFO queue semantics, and
+// the buffer-view const-correctness at the service boundary.
+#include <gtest/gtest.h>
+
+#include "src/core/template_store.h"
+#include "src/tee/replay_service.h"
+#include "src/workload/record_campaigns.h"
+#include "src/workload/rpi3_testbed.h"
+#include "tests/test_util.h"
+
+namespace dlt {
+namespace {
+
+std::vector<uint8_t> Record(Result<RecordCampaign> (*campaign)(Rpi3Testbed*)) {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = campaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+
+class ReplayServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    mmc_ = new std::vector<uint8_t>(Record(RecordMmcCampaign));
+    usb_ = new std::vector<uint8_t>(Record(RecordUsbCampaign));
+    ASSERT_FALSE(mmc_->empty());
+    ASSERT_FALSE(usb_->empty());
+  }
+  static void TearDownTestSuite() {
+    delete mmc_;
+    delete usb_;
+  }
+
+  void SetUp() override {
+    TestbedOptions opts;
+    opts.secure_io = true;
+    opts.probe_drivers = false;
+    tb_ = std::make_unique<Rpi3Testbed>(opts);
+  }
+
+  ReplayArgs BlockArgs(uint64_t rw, uint64_t blkcnt, std::vector<uint8_t>* buf) {
+    buf->assign(blkcnt * 512, 0xa5);
+    ReplayArgs args;
+    args.scalars = {{"rw", rw}, {"blkcnt", blkcnt}, {"blkid", 2048}, {"flag", 0}};
+    args.buffers["buf"] = BufferView{buf->data(), buf->size()};
+    return args;
+  }
+
+  static std::vector<uint8_t>* mmc_;
+  static std::vector<uint8_t>* usb_;
+  std::unique_ptr<Rpi3Testbed> tb_;
+};
+
+std::vector<uint8_t>* ReplayServiceTest::mmc_ = nullptr;
+std::vector<uint8_t>* ReplayServiceTest::usb_ = nullptr;
+
+TEST_F(ReplayServiceTest, MultiPackageLoadNoOverwrite) {
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  Result<std::string> mmc = svc.RegisterDriverlet(mmc_->data(), mmc_->size());
+  ASSERT_TRUE(mmc.ok());
+  EXPECT_EQ("mmc", *mmc);
+  size_t mmc_count = svc.store().template_count();
+  ASSERT_GT(mmc_count, 0u);
+
+  Result<std::string> usb = svc.RegisterDriverlet(usb_->data(), usb_->size());
+  ASSERT_TRUE(usb.ok());
+  EXPECT_EQ("usb", *usb);
+  // Loading a second package extends the population; the first survives.
+  EXPECT_EQ(2u, svc.store().package_count());
+  size_t both = svc.store().template_count();
+  EXPECT_GT(both, mmc_count);
+  EXPECT_TRUE(svc.store().HasDriverlet("mmc"));
+  EXPECT_TRUE(svc.store().HasDriverlet("usb"));
+
+  // Re-registering a driverlet replaces only its own templates.
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  EXPECT_EQ(2u, svc.store().package_count());
+  EXPECT_EQ(both, svc.store().template_count());
+  EXPECT_FALSE(svc.store().templates("usb").empty());
+}
+
+TEST_F(ReplayServiceTest, RoutesEntriesToTheRightPackage) {
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  ASSERT_TRUE(svc.RegisterDriverlet(usb_->data(), usb_->size()).ok());
+  Result<SessionId> mmc = svc.OpenSession("mmc");
+  Result<SessionId> usb = svc.OpenSession("usb");
+  ASSERT_TRUE(mmc.ok());
+  ASSERT_TRUE(usb.ok());
+
+  std::vector<uint8_t> buf;
+  EXPECT_TRUE(svc.Invoke(*mmc, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).ok());
+  EXPECT_TRUE(svc.Invoke(*usb, kUsbEntry, BlockArgs(kMmcRwRead, 8, &buf)).ok());
+  // Selection is scoped to the session's driverlet: an MMC session cannot
+  // reach USB templates even though both live in the same store.
+  Result<ReplayStats> cross = svc.Invoke(*mmc, kUsbEntry, BlockArgs(kMmcRwRead, 8, &buf));
+  EXPECT_EQ(Status::kNoTemplate, cross.status());
+}
+
+TEST_F(ReplayServiceTest, ThreeSessionsKeepSeparateStats) {
+  // One SecureWorld, one service, two packages, three concurrently open
+  // sessions — the acceptance shape for the session refactor.
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  ASSERT_TRUE(svc.RegisterDriverlet(usb_->data(), usb_->size()).ok());
+  Result<SessionId> a = svc.OpenSession("mmc");
+  Result<SessionId> b = svc.OpenSession("mmc");
+  Result<SessionId> c = svc.OpenSession("usb");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(3u, svc.open_sessions());
+  EXPECT_NE(*a, *b);
+
+  std::vector<uint8_t> buf;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(svc.Invoke(*a, kMmcEntry, BlockArgs(kMmcRwWrite, 1, &buf)).ok());
+  }
+  ASSERT_TRUE(svc.Invoke(*b, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(svc.Invoke(*c, kUsbEntry, BlockArgs(kMmcRwRead, 32, &buf)).ok());
+  }
+
+  Result<SessionStats> sa = svc.Stats(*a);
+  Result<SessionStats> sb = svc.Stats(*b);
+  Result<SessionStats> sc = svc.Stats(*c);
+  ASSERT_TRUE(sa.ok() && sb.ok() && sc.ok());
+  EXPECT_EQ(3u, sa->invokes);
+  EXPECT_EQ(1u, sb->invokes);
+  EXPECT_EQ(2u, sc->invokes);
+  EXPECT_EQ("mmc", sa->driverlet);
+  EXPECT_EQ("usb", sc->driverlet);
+  EXPECT_EQ(3u, sa->per_template.at("WR_1"));
+  EXPECT_EQ(1u, sb->per_template.at("RD_8"));
+  EXPECT_EQ(0u, sa->failures);
+
+  // Failures are charged to the offending session only.
+  std::vector<uint8_t> tiny(512);
+  ReplayArgs bad;
+  bad.scalars = {{"rw", kMmcRwRead}};  // uncovered input
+  bad.buffers["buf"] = BufferView{tiny.data(), tiny.size()};
+  EXPECT_FALSE(svc.Invoke(*b, kMmcEntry, bad).ok());
+  EXPECT_EQ(1u, svc.Stats(*b)->failures);
+  EXPECT_EQ(0u, svc.Stats(*a)->failures);
+  EXPECT_EQ(0u, svc.Stats(*c)->failures);
+}
+
+TEST_F(ReplayServiceTest, SessionLifecycleAndCapacity) {
+  ReplayServiceConfig cfg;
+  cfg.max_sessions = 2;
+  ReplayService svc(&tb_->tee(), kDeveloperKey, cfg);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+
+  EXPECT_EQ(Status::kNotFound, svc.OpenSession("gpu").status());
+  Result<SessionId> a = svc.OpenSession("mmc");
+  Result<SessionId> b = svc.OpenSession("mmc");
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(Status::kBusy, svc.OpenSession("mmc").status());
+
+  EXPECT_EQ(Status::kOk, svc.CloseSession(*a));
+  EXPECT_EQ(Status::kNotFound, svc.CloseSession(*a));  // already closed
+  EXPECT_EQ(Status::kNotFound, svc.Stats(*a).status());
+  EXPECT_TRUE(svc.OpenSession("mmc").ok());  // slot freed
+
+  std::vector<uint8_t> buf;
+  Result<ReplayStats> r = svc.Invoke(*a, kMmcEntry, BlockArgs(kMmcRwRead, 1, &buf));
+  EXPECT_EQ(Status::kNotFound, r.status());  // closed session cannot invoke
+}
+
+TEST_F(ReplayServiceTest, AdmissionRejectsPackageForUnmappedDevices) {
+  // Firmware did not assign devices to the TEE: registration must refuse the
+  // package before any template becomes selectable.
+  Rpi3Testbed open_machine{TestbedOptions{.secure_io = false, .probe_drivers = false}};
+  ReplayService svc(&open_machine.tee(), kDeveloperKey);
+  Result<std::string> r = svc.RegisterDriverlet(mmc_->data(), mmc_->size());
+  EXPECT_EQ(Status::kPermissionDenied, r.status());
+  EXPECT_EQ(0u, svc.registered_driverlets());
+  EXPECT_EQ(0u, svc.store().template_count());
+}
+
+TEST_F(ReplayServiceTest, AdmissionRejectsTamperedPackage) {
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  std::vector<uint8_t> bad = *mmc_;
+  bad[bad.size() / 2] ^= 0x10;
+  EXPECT_EQ(Status::kCorrupt, svc.RegisterDriverlet(bad.data(), bad.size()).status());
+  EXPECT_FALSE(svc.IsRegistered("mmc"));
+}
+
+TEST_F(ReplayServiceTest, QueueIsFifoAndBounded) {
+  ReplayServiceConfig cfg;
+  cfg.queue_depth = 2;
+  ReplayService svc(&tb_->tee(), kDeveloperKey, cfg);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+
+  // Queued args borrow the submitter's buffers; keep them alive per request.
+  std::vector<uint8_t> b1, b2, b3;
+  Result<uint64_t> r1 = svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwWrite, 1, &b1));
+  Result<uint64_t> r2 = svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &b2));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(2u, svc.queue_backlog());
+  // Bounded: the third submission is refused with explicit backpressure.
+  EXPECT_EQ(Status::kBusy, svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 1, &b3)).status());
+
+  // Completions are not available before processing.
+  EXPECT_EQ(Status::kNotFound, svc.TakeCompletion(*r1).status());
+
+  // FIFO: processing one request completes the oldest submission.
+  EXPECT_EQ(1u, svc.ProcessQueued(1));
+  EXPECT_TRUE(svc.TakeCompletion(*r1).ok());
+  EXPECT_EQ(Status::kNotFound, svc.TakeCompletion(*r2).status());
+  EXPECT_EQ(1u, svc.ProcessQueued());
+  Result<ReplayStats> done = svc.TakeCompletion(*r2);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ("RD_8", done->template_name);
+  // Each completion is taken exactly once.
+  EXPECT_EQ(Status::kNotFound, svc.TakeCompletion(*r2).status());
+  EXPECT_EQ(0u, svc.queue_backlog());
+  EXPECT_EQ(2u, svc.Stats(*sid)->submitted);
+}
+
+TEST_F(ReplayServiceTest, RequestsOfClosedSessionCompleteAsNotFound) {
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+  std::vector<uint8_t> buf;
+  Result<uint64_t> req = svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwWrite, 1, &buf));
+  ASSERT_TRUE(req.ok());
+  ASSERT_EQ(Status::kOk, svc.CloseSession(*sid));
+  EXPECT_EQ(1u, svc.ProcessQueued());
+  EXPECT_EQ(Status::kNotFound, svc.TakeCompletion(*req).status());
+}
+
+TEST_F(ReplayServiceTest, ReadOnlyBufferViewIsEnforced) {
+  // A write-path template only reads the caller's buffer, so a read-only view
+  // suffices; a read-path template must be refused before it scribbles on it.
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+
+  std::vector<uint8_t> payload = PatternBuf(8 * 512, 7);
+  ReplayArgs wr;
+  wr.scalars = {{"rw", kMmcRwWrite}, {"blkcnt", 8}, {"blkid", 64}, {"flag", 0}};
+  wr.ro_buffers["buf"] = ConstBufferView{payload.data(), payload.size()};
+  EXPECT_TRUE(svc.Invoke(*sid, kMmcEntry, wr).ok());
+
+  ReplayArgs rd;
+  rd.scalars = {{"rw", kMmcRwRead}, {"blkcnt", 8}, {"blkid", 64}, {"flag", 0}};
+  rd.ro_buffers["buf"] = ConstBufferView{payload.data(), payload.size()};
+  Result<ReplayStats> r = svc.Invoke(*sid, kMmcEntry, rd);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(Status::kPermissionDenied, r.status());
+}
+
+// ---- TemplateStore unit tests (no machine required) ----
+
+InteractionTemplate SynthTemplate(const char* name, const char* entry,
+                                  std::vector<std::string> params, ConstraintAtom atom) {
+  InteractionTemplate t;
+  t.name = name;
+  t.entry = entry;
+  for (std::string& p : params) {
+    t.params.push_back(ParamSpec{std::move(p), /*is_buffer=*/false});
+  }
+  t.initial.AddAtom(std::move(atom));
+  return t;
+}
+
+ConstraintAtom InputEq(const char* input, uint64_t v) {
+  return ConstraintAtom{Expr::Input(input), Cmp::kEq, Expr::Const(v)};
+}
+
+TEST(TemplateStoreTest, CandidateMissingScalarParamIsSkippedNotFatal) {
+  // Regression: two templates register the same entry with different param
+  // sets. Selection used to abort with kInvalidArg as soon as the scan hit the
+  // candidate whose param was absent from the args; it must skip it and keep
+  // scanning instead.
+  DriverletPackage pkg;
+  pkg.driverlet = "synth";
+  pkg.templates.push_back(SynthTemplate("NeedsXY", "replay_synth", {"x", "y"}, InputEq("y", 1)));
+  pkg.templates.push_back(SynthTemplate("NeedsX", "replay_synth", {"x"}, InputEq("x", 2)));
+  TemplateStore store;
+  ASSERT_EQ(Status::kOk, store.AddPackage(pkg));
+
+  // No "y" in the args: NeedsXY is skipped, NeedsX still matches.
+  Result<const InteractionTemplate*> sel = store.Select("synth", "replay_synth", {{"x", 2}});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ("NeedsX", (*sel)->name);
+
+  // Both param sets satisfiable: the richer template matches on its constraint.
+  sel = store.Select("synth", "replay_synth", {{"x", 7}, {"y", 1}});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ("NeedsXY", (*sel)->name);
+
+  // Nothing covers the input: uncovered, not an argument error.
+  EXPECT_EQ(Status::kNoTemplate, store.Select("synth", "replay_synth", {{"x", 9}}).status());
+}
+
+TEST(TemplateStoreTest, SelectIsScopedByDriverletAndEntry) {
+  DriverletPackage a;
+  a.driverlet = "alpha";
+  a.templates.push_back(SynthTemplate("A", "replay_shared", {"x"}, InputEq("x", 1)));
+  DriverletPackage b;
+  b.driverlet = "beta";
+  b.templates.push_back(SynthTemplate("B", "replay_shared", {"x"}, InputEq("x", 1)));
+  TemplateStore store;
+  ASSERT_EQ(Status::kOk, store.AddPackage(a));
+  ASSERT_EQ(Status::kOk, store.AddPackage(b));
+
+  Result<const InteractionTemplate*> sel = store.Select("beta", "replay_shared", {{"x", 1}});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ("B", (*sel)->name);
+  // Driverlet-agnostic lookup falls back to load order.
+  sel = store.Select("", "replay_shared", {{"x", 1}});
+  ASSERT_TRUE(sel.ok());
+  EXPECT_EQ("A", (*sel)->name);
+  EXPECT_EQ(Status::kNoTemplate, store.Select("alpha", "replay_none", {{"x", 1}}).status());
+}
+
+TEST(TemplateStoreTest, ReloadReplacesOnlyThatDriverlet) {
+  DriverletPackage a;
+  a.driverlet = "alpha";
+  a.templates.push_back(SynthTemplate("Old", "replay_a", {"x"}, InputEq("x", 1)));
+  DriverletPackage b;
+  b.driverlet = "beta";
+  b.templates.push_back(SynthTemplate("Keep", "replay_b", {"x"}, InputEq("x", 1)));
+  TemplateStore store;
+  ASSERT_EQ(Status::kOk, store.AddPackage(a));
+  ASSERT_EQ(Status::kOk, store.AddPackage(b));
+
+  DriverletPackage a2;
+  a2.driverlet = "alpha";
+  a2.templates.push_back(SynthTemplate("New", "replay_a2", {"x"}, InputEq("x", 1)));
+  ASSERT_EQ(Status::kOk, store.AddPackage(a2));
+  EXPECT_EQ(2u, store.package_count());
+  // The old alpha entry is de-indexed; beta is untouched.
+  EXPECT_EQ(Status::kNoTemplate, store.Select("alpha", "replay_a", {{"x", 1}}).status());
+  EXPECT_TRUE(store.Select("alpha", "replay_a2", {{"x", 1}}).ok());
+  EXPECT_TRUE(store.Select("beta", "replay_b", {{"x", 1}}).ok());
+}
+
+}  // namespace
+}  // namespace dlt

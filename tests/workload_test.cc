@@ -86,9 +86,12 @@ TEST(ReplayChunkingTest, InvocationMixMatchesGranularities) {
   std::vector<uint8_t> pkg = c->Seal(PackageFormat::kText, kDeveloperKey);
 
   Rpi3Testbed deploy{TestbedOptions{.secure_io = true, .probe_drivers = false}};
-  Replayer replayer(&deploy.tee(), kDeveloperKey);
-  ASSERT_EQ(Status::kOk, replayer.LoadPackage(pkg.data(), pkg.size()));
-  ReplayBlockDevice rdev(&replayer, kMmcEntry);
+  ReplayService service(&deploy.tee(), kDeveloperKey);
+  Result<std::string> name = service.RegisterDriverlet(pkg.data(), pkg.size());
+  ASSERT_TRUE(name.ok());
+  Result<SessionId> sid = service.OpenSession(*name);
+  ASSERT_TRUE(sid.ok());
+  ReplayBlockDevice rdev(&service, *sid, kMmcEntry);
 
   std::vector<uint8_t> data = PatternBuf(300 * 512, 0x5);
   ASSERT_EQ(Status::kOk, rdev.Write(0, 300, data.data()));

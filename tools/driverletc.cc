@@ -148,7 +148,7 @@ int ReplayOnce(const char* path) {
     std::fprintf(stderr, "package rejected by the TEE\n");
     return 1;
   }
-  const std::string entry = replayer.templates().front().entry;
+  const std::string entry = replayer.templates().front()->entry;
   std::printf("replaying entry %s on a simulated deployment machine...\n", entry.c_str());
 
   ReplayArgs args;
