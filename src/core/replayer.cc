@@ -70,6 +70,16 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
 
   for (int attempt = 1; attempt <= max_attempts_; ++attempt) {
     stats.attempts = attempt;
+    if (attempt > 1 && retry_backoff_us_ > 0) {
+      // Policy ladder rung 1: give the device virtual time to settle before
+      // the reset + re-execution, doubling per failed attempt.
+      uint64_t backoff = retry_backoff_us_ << (attempt - 2);
+      if (tel.enabled()) {
+        tel.metrics().counter("replay.backoffs").Inc();
+        tel.metrics().histogram("replay.backoff_us").Record(backoff);
+      }
+      ctx_->DelayUs(backoff);
+    }
     // Reset the device before executing each template and upon divergence —
     // constrains the device state space exactly as a record run did (§3.3, §5).
     if (reset_between_templates_ || attempt > 1) {

@@ -56,6 +56,13 @@ class Replayer {
   int max_attempts() const { return max_attempts_; }
   void set_max_attempts(int n) { max_attempts_ = n; }
 
+  // Virtual-time backoff before each divergence retry, doubling per attempt
+  // (retry n waits backoff << (n-2) microseconds). 0 — the default — retries
+  // immediately after the soft reset, the paper's behaviour; the ReplayService
+  // raises it so a flapping device is not hammered at full rate.
+  uint64_t retry_backoff_us() const { return retry_backoff_us_; }
+  void set_retry_backoff_us(uint64_t us) { retry_backoff_us_ = us; }
+
   // Ablation knob: skip the soft reset before first execution of a template
   // (divergence recovery still resets). The paper's design always resets
   // between templates (§5); disabling shows why — residue state diverges.
@@ -74,6 +81,7 @@ class Replayer {
   std::string driverlet_name_;
   DivergenceReport report_;
   int max_attempts_ = 3;
+  uint64_t retry_backoff_us_ = 0;
   bool reset_between_templates_ = true;
   uint64_t total_events_ = 0;
   uint64_t total_resets_ = 0;

@@ -1,0 +1,94 @@
+// FaultInjector: arms a seeded FaultPlan against a Machine by interposing at
+// the three SoC choke points every driverlet depends on — the AddressSpace
+// MMIO windows (register-read corruption via a proxy MmioDevice), the DMA
+// engine's control-block execution plus the bus-master copy path (payload
+// corruption/truncation), and the interrupt controller's Raise edges
+// (drop/delay/spurious). Any bench, test, or workload then runs under a
+// reproducible fault schedule without knowing it is being injected.
+//
+// Soft reset deliberately bypasses the injector: Machine's device registry
+// keeps the real device pointer, so the recovery ladder always reaches intact
+// hardware (a reset that could itself be faulted would make every plan
+// unrecoverable by construction).
+//
+// One injector per Machine at a time. Counters are deterministic and always
+// on; telemetry (counters + kFaultInjected trace instants) is emitted when
+// src/obs is armed.
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/soc/machine.h"
+
+namespace dlt {
+
+class FaultInjector : public IrqFaultHook, public DmaFaultHook, public BusFaultHook {
+ public:
+  // Both out of line: the proxies_ vector needs the full MmioProxy type.
+  explicit FaultInjector(Machine* machine);
+  ~FaultInjector() override;  // disarms
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs the plan's hooks and proxies; resets the injection counters and
+  // the draw stream. MMIO specs must name an explicit, attached device and
+  // kIrqSpurious specs an explicit line (kInvalidArg otherwise). Re-arming
+  // replaces the previous plan.
+  Status Arm(const FaultPlan& plan);
+
+  // Removes every hook/proxy and cancels scheduled spurious/delayed raises.
+  // Idempotent; the destructor disarms too.
+  void Disarm();
+  bool armed() const { return armed_flag_; }
+
+  // Deterministic accounting (independent of telemetry being enabled).
+  uint64_t injected_total() const;
+  uint64_t injected(FaultKind k) const {
+    return injected_[static_cast<size_t>(k)];
+  }
+  // Matching opportunities inspected (fired or not).
+  uint64_t opportunities() const { return opportunities_; }
+
+  // ---- SoC hook implementations (not for direct use) ----
+  bool OnRaise(int line) override;
+  void OnBlock(uint32_t ti, PhysAddr src, PhysAddr dst, uint8_t* data,
+               size_t* len) override;
+  void OnDmaRead(PhysAddr a, uint8_t* data, size_t n) override;
+  void OnDmaWrite(PhysAddr a, uint8_t* data, size_t n) override;
+
+ private:
+  struct ArmedSpec {
+    FaultSpec spec;
+    uint64_t seen = 0;
+    uint64_t fired = 0;
+  };
+  class MmioProxy;
+
+  // Called by MmioProxy with the value the real device returned.
+  uint32_t FilterMmioRead(uint16_t device, uint64_t offset, uint32_t observed);
+
+  bool ShouldFire(ArmedSpec& a);
+  void CountFault(FaultKind k, uint16_t device, uint64_t detail);
+  void CorruptBytes(uint8_t* data, size_t len, uint64_t mask);
+
+  Machine* machine_;
+  FaultRng rng_{0};
+  std::vector<ArmedSpec> armed_;
+  std::vector<std::unique_ptr<MmioProxy>> proxies_;
+  std::vector<SimClock::EventId> scheduled_;
+  std::array<uint64_t, static_cast<size_t>(FaultKind::kKindCount)> injected_{};
+  uint64_t opportunities_ = 0;
+  bool redelivering_ = false;  // injector-originated raises bypass OnRaise
+  bool armed_flag_ = false;
+  bool hooked_irq_ = false;
+  bool hooked_dma_ = false;
+  bool hooked_bus_ = false;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

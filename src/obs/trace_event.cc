@@ -15,6 +15,7 @@ const char* TraceKindName(TraceKind k) {
     case TraceKind::kIrqRaise: return "irq_raise";
     case TraceKind::kIrqWait: return "irq_wait";
     case TraceKind::kWorldSwitch: return "world_switch";
+    case TraceKind::kFaultInjected: return "fault_injected";
     case TraceKind::kCount: break;
   }
   return "unknown";
@@ -37,6 +38,8 @@ const char* TraceKindCategory(TraceKind k) {
       return "irq";
     case TraceKind::kWorldSwitch:
       return "tee";
+    case TraceKind::kFaultInjected:
+      return "fault";
     case TraceKind::kCount:
       break;
   }

@@ -27,6 +27,7 @@ enum class TraceKind : uint8_t {
   kIrqRaise,             // instant: line asserted (arg0 = line)
   kIrqWait,              // span: replay waited for a line (arg0 = line)
   kWorldSwitch,          // instant: SMC boundary crossing (arg0 = direction)
+  kFaultInjected,        // instant: injected fault fired (name = kind, arg0 = detail)
   kCount,                // sentinel
 };
 

@@ -51,6 +51,19 @@ Status AddressSpace::MapMmio(PhysAddr base, uint64_t size, MmioDevice* dev) {
   return Status::kOk;
 }
 
+Status AddressSpace::InterposeMmio(MmioDevice* from, MmioDevice* to) {
+  if (from == nullptr || to == nullptr) {
+    return Status::kInvalidArg;
+  }
+  for (auto& w : mmio_) {
+    if (w.dev == from) {
+      w.dev = to;
+      return Status::kOk;
+    }
+  }
+  return Status::kNotFound;
+}
+
 AddressSpace::RamWindow* AddressSpace::RamAt(PhysAddr a, uint64_t size) {
   for (auto& w : ram_) {
     if (a >= w.base && a + size <= w.base + w.size) {
@@ -151,6 +164,9 @@ uint8_t* AddressSpace::RamPtr(PhysAddr a, uint64_t size) {
 Status AddressSpace::DmaRead(PhysAddr a, void* dst, size_t n) {
   if (RamWindow* ram = RamAt(a, n); ram != nullptr) {
     std::memcpy(dst, ram->bytes.get() + (a - ram->base), n);
+    if (bus_fault_hook_ != nullptr) {
+      bus_fault_hook_->OnDmaRead(a, static_cast<uint8_t*>(dst), n);
+    }
     return Status::kOk;
   }
   return Status::kOutOfRange;
@@ -158,7 +174,11 @@ Status AddressSpace::DmaRead(PhysAddr a, void* dst, size_t n) {
 
 Status AddressSpace::DmaWrite(PhysAddr a, const void* src, size_t n) {
   if (RamWindow* ram = RamAt(a, n); ram != nullptr) {
-    std::memcpy(ram->bytes.get() + (a - ram->base), src, n);
+    uint8_t* dst = ram->bytes.get() + (a - ram->base);
+    std::memcpy(dst, src, n);
+    if (bus_fault_hook_ != nullptr) {
+      bus_fault_hook_->OnDmaWrite(a, dst, n);
+    }
     return Status::kOk;
   }
   return Status::kOutOfRange;

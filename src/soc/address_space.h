@@ -18,6 +18,19 @@ namespace dlt {
 
 class SimClock;
 
+// Fault-injection hook over bus-master RAM accesses (src/fault's
+// FaultInjector). OnDmaRead runs after the copy with the bytes the device is
+// about to consume (corrupting them models a misread on the bus); OnDmaWrite
+// runs after the copy with a pointer into backing RAM (corrupting it models a
+// bad write landing in memory). Covers devices that master the bus directly
+// (dwc2, vc4) — the system DMA engine has its own DmaFaultHook.
+class BusFaultHook {
+ public:
+  virtual ~BusFaultHook() = default;
+  virtual void OnDmaRead(PhysAddr a, uint8_t* data, size_t n) = 0;
+  virtual void OnDmaWrite(PhysAddr a, uint8_t* data, size_t n) = 0;
+};
+
 class AddressSpace {
  public:
   explicit AddressSpace(Tzasc* tzasc) : tzasc_(tzasc) {}
@@ -30,6 +43,16 @@ class AddressSpace {
 
   Status AddRam(PhysAddr base, uint64_t size);
   Status MapMmio(PhysAddr base, uint64_t size, MmioDevice* dev);
+
+  // Fault injection: reroutes the MMIO window currently routed to |from| so it
+  // routes to |to| instead (a proxy device wrapping |from|). kNotFound when no
+  // window routes to |from|. Machine's device registry is untouched, so
+  // SoftResetDevice still reaches the real device; calling again with the
+  // arguments swapped restores the original routing.
+  Status InterposeMmio(MmioDevice* from, MmioDevice* to);
+
+  // Fault injection: nullptr uninstalls.
+  void set_bus_fault_hook(BusFaultHook* hook) { bus_fault_hook_ = hook; }
 
   // CPU accesses (TZASC-checked). MMIO accesses must be 32-bit and aligned.
   Result<uint32_t> Read32(World w, PhysAddr a);
@@ -71,6 +94,7 @@ class AddressSpace {
   std::vector<RamWindow> ram_;
   std::vector<MmioWindow> mmio_;
   uint64_t mmio_accesses_ = 0;
+  BusFaultHook* bus_fault_hook_ = nullptr;
 };
 
 }  // namespace dlt

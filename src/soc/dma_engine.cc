@@ -149,14 +149,21 @@ bool DmaEngine::RunOneBlock(const DmaControlBlock& cb, uint64_t* cost_us) {
       return false;
     }
   }
+  size_t deliver = len;
+  if (fault_hook_ != nullptr) {
+    fault_hook_->OnBlock(cb.ti, cb.source_ad, cb.dest_ad, bounce_.data(), &deliver);
+    if (deliver > len) {
+      deliver = len;
+    }
+  }
   if (dst_dreq) {
     auto it = ports_.find(cb.dest_ad);
     if (it == ports_.end()) {
       return false;
     }
-    it->second->DmaPush(bounce_.data(), len);
+    it->second->DmaPush(bounce_.data(), deliver);
   } else {
-    if (!Ok(mem_->DmaWrite(cb.dest_ad, bounce_.data(), len))) {
+    if (!Ok(mem_->DmaWrite(cb.dest_ad, bounce_.data(), deliver))) {
       return false;
     }
   }

@@ -56,6 +56,17 @@ struct DmaControlBlock {
 };
 static_assert(sizeof(DmaControlBlock) == 32);
 
+// Fault-injection hook over executed control blocks (src/fault's
+// FaultInjector). Called after the engine staged a block's payload and before
+// delivery; the hook may corrupt |data| in place or shrink |*len| — a
+// truncated transfer whose tail never reaches the destination.
+class DmaFaultHook {
+ public:
+  virtual ~DmaFaultHook() = default;
+  virtual void OnBlock(uint32_t ti, PhysAddr src, PhysAddr dst, uint8_t* data,
+                       size_t* len) = 0;
+};
+
 class DmaEngine : public MmioDevice {
  public:
   static constexpr int kNumChannels = 16;
@@ -65,6 +76,9 @@ class DmaEngine : public MmioDevice {
 
   // Peripheral FIFO addresses the engine paces against (e.g. the MMC SDDATA port).
   void RegisterDataPort(PhysAddr addr, DmaDataPort* port);
+
+  // Fault injection: nullptr uninstalls.
+  void set_fault_hook(DmaFaultHook* hook) { fault_hook_ = hook; }
 
   std::string_view name() const override { return "dma"; }
   uint32_t MmioRead32(uint64_t offset) override;
@@ -100,6 +114,7 @@ class DmaEngine : public MmioDevice {
   uint64_t transfers_completed_ = 0;
   uint64_t bytes_transferred_ = 0;
   std::vector<uint8_t> bounce_;
+  DmaFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace dlt

@@ -11,6 +11,9 @@ void InterruptController::Raise(int line) {
   if (!ValidLine(line)) {
     return;
   }
+  if (fault_hook_ != nullptr && !fault_hook_->OnRaise(line)) {
+    return;  // dropped, or the injector re-raises it later (delayed delivery)
+  }
   bool was_pending = Pending(line);
   if (line < 64) {
     pending_mask_ |= (uint64_t{1} << line);

@@ -10,6 +10,16 @@ namespace dlt {
 
 class SimClock;
 
+// Fault-injection hook over Raise() edges (src/fault's FaultInjector). OnRaise
+// runs before the line is asserted; returning false suppresses the edge — the
+// injector either drops it outright or re-raises the line itself later (a
+// delayed delivery). At most one hook is installed per controller.
+class IrqFaultHook {
+ public:
+  virtual ~IrqFaultHook() = default;
+  virtual bool OnRaise(int line) = 0;
+};
+
 class InterruptController {
  public:
   static constexpr int kMaxLines = 96;
@@ -18,6 +28,9 @@ class InterruptController {
   // Machine binds its clock at assembly; a controller without a clock still
   // counts raises but emits no trace events.
   void BindClock(const SimClock* clock) { clock_ = clock; }
+
+  // Fault injection: nullptr uninstalls.
+  void set_fault_hook(IrqFaultHook* hook) { fault_hook_ = hook; }
 
   void Raise(int line);
   void Clear(int line);
@@ -37,6 +50,7 @@ class InterruptController {
   uint32_t pending_hi_ = 0;    // lines 64..95
   std::array<uint64_t, kMaxLines> raise_counts_{};
   const SimClock* clock_ = nullptr;
+  IrqFaultHook* fault_hook_ = nullptr;
 };
 
 }  // namespace dlt

@@ -25,6 +25,7 @@ enum class Status : int {
   kNoMemory,
   kAborted,           // gave up after bounded divergence retries
   kBusy,              // service backpressure: session table or request queue full
+  kQuarantined,       // session quarantined after repeated device-health failures
 };
 
 inline const char* StatusName(Status s) {
@@ -44,6 +45,7 @@ inline const char* StatusName(Status s) {
     case Status::kNoMemory: return "no-memory";
     case Status::kAborted: return "aborted";
     case Status::kBusy: return "busy";
+    case Status::kQuarantined: return "quarantined";
   }
   return "unknown";
 }

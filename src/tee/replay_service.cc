@@ -31,6 +31,7 @@ Result<std::string> ReplayService::RegisterDriverlet(const DriverletPackage& pkg
   if (it == replayers_.end()) {
     auto replayer =
         std::make_unique<Replayer>(tee_, signing_key_, &store_, pkg.driverlet);
+    replayer->set_retry_backoff_us(cfg_.retry_backoff_us);
     DLT_RETURN_IF_ERROR(replayer->LoadPackage(pkg));
     replayers_.emplace(pkg.driverlet, std::move(replayer));
   } else {
@@ -94,6 +95,14 @@ Status ReplayService::CloseSession(SessionId id) {
   return Status::kOk;
 }
 
+// Device-health failures climb the quarantine ladder; client errors (uncovered
+// input, bad arguments, policy rejections) say nothing about the device and
+// neither count nor clear the streak.
+static bool IsDeviceHealthFailure(Status s) {
+  return s == Status::kAborted || s == Status::kTimeout || s == Status::kDiverged ||
+         s == Status::kIoError;
+}
+
 Result<ReplayStats> ReplayService::DoInvoke(Session& s, std::string_view entry,
                                             const ReplayArgs& args) {
   Replayer* rep = replayer(s.driverlet);
@@ -101,6 +110,13 @@ Result<ReplayStats> ReplayService::DoInvoke(Session& s, std::string_view entry,
     return Status::kBadState;  // registration cannot be revoked; defensive
   }
   Telemetry& tel = Telemetry::Get();
+  if (s.stats.quarantined) {
+    // Ladder rung 3: fail fast, never touch the device again on this session.
+    if (tel.enabled()) {
+      tel.metrics().counter("service.quarantine_rejects").Inc();
+    }
+    return Status::kQuarantined;
+  }
   uint64_t t0 = tel.enabled() ? tee_->TimestampUs() : 0;
   Result<ReplayStats> r = rep->Invoke(entry, args);
   ++s.stats.invokes;
@@ -109,9 +125,22 @@ Result<ReplayStats> ReplayService::DoInvoke(Session& s, std::string_view entry,
     s.stats.events_executed += r->events_executed;
     s.stats.resets += static_cast<uint64_t>(r->resets);
     s.stats.attempts += static_cast<uint64_t>(r->attempts);
+    s.stats.consecutive_device_failures = 0;
     ++s.stats.per_template[r->template_name];
   } else {
     ++s.stats.failures;
+    if (IsDeviceHealthFailure(r.status()) && cfg_.quarantine_threshold > 0 &&
+        ++s.stats.consecutive_device_failures >= cfg_.quarantine_threshold) {
+      s.stats.quarantined = true;
+      ++quarantined_total_;
+      DLT_LOG(kWarn) << "session on " << s.driverlet << " quarantined after "
+                     << s.stats.consecutive_device_failures
+                     << " consecutive device failures (last: "
+                     << StatusName(r.status()) << ")";
+      if (tel.enabled()) {
+        tel.metrics().counter("service.quarantines").Inc();
+      }
+    }
   }
   if (tel.enabled()) {
     tel.metrics().counter("service.invokes").Inc();
@@ -137,6 +166,13 @@ Result<uint64_t> ReplayService::Submit(SessionId id, std::string entry, ReplayAr
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::kNotFound;
+  }
+  if (it->second.stats.quarantined) {
+    Telemetry& tel = Telemetry::Get();
+    if (tel.enabled()) {
+      tel.metrics().counter("service.quarantine_rejects").Inc();
+    }
+    return Status::kQuarantined;  // fail fast instead of occupying the queue
   }
   if (queue_.size() >= cfg_.queue_depth) {
     Telemetry& tel = Telemetry::Get();

@@ -38,6 +38,17 @@ using SessionId = uint64_t;
 struct ReplayServiceConfig {
   size_t max_sessions = 16;
   size_t queue_depth = 32;  // bounded FIFO across all sessions
+  // Recovery policy ladder (docs/fault_injection.md). Each registered
+  // replayer already retries with soft reset; these knobs add the service
+  // rungs above it:
+  //   - retry_backoff_us: virtual-time backoff applied to every registered
+  //     replayer's divergence retries (0 = retry immediately);
+  //   - quarantine_threshold: after this many *consecutive* device-health
+  //     failures (aborted / timeout / diverged / io-error) a session is
+  //     quarantined — further Invoke/Submit fail fast with kQuarantined and
+  //     only CloseSession frees the slot. 0 disables quarantine.
+  uint64_t retry_backoff_us = 0;
+  uint64_t quarantine_threshold = 4;
 };
 
 // Per-session accounting, aggregated from each invoke's ReplayStats.
@@ -52,6 +63,10 @@ struct SessionStats {
   std::map<std::string, uint64_t> per_template;  // completed, by template name
   uint64_t opened_us = 0;
   uint64_t last_invoke_us = 0;
+  // Quarantine ladder state: device-health failures since the last success,
+  // and whether the session has been quarantined (terminal until closed).
+  uint64_t consecutive_device_failures = 0;
+  bool quarantined = false;
 };
 
 class ReplayService {
@@ -88,6 +103,8 @@ class ReplayService {
   // ---- Introspection ----
   Result<SessionStats> Stats(SessionId id) const;
   size_t open_sessions() const { return sessions_.size(); }
+  // Sessions quarantined over the service lifetime (closed ones included).
+  uint64_t quarantined_sessions() const { return quarantined_total_; }
   size_t queue_backlog() const { return queue_.size(); }
   size_t registered_driverlets() const { return replayers_.size(); }
   bool IsRegistered(std::string_view driverlet) const;
@@ -123,6 +140,7 @@ class ReplayService {
   std::map<uint64_t, Result<ReplayStats>> completions_;
   SessionId next_session_ = 1;
   uint64_t next_request_ = 1;
+  uint64_t quarantined_total_ = 0;
 };
 
 }  // namespace dlt

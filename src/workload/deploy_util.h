@@ -1,0 +1,94 @@
+// Shared deployment/package helpers used by the test suite, the benchmark
+// binaries and the fault-matrix campaign: record-and-seal one package per
+// driverlet on a fresh developer machine, and stand up a deployment machine
+// (devices assigned to the TEE, a ReplayService hosting the package, one open
+// session) in a single call.
+#ifndef SRC_WORKLOAD_DEPLOY_UTIL_H_
+#define SRC_WORKLOAD_DEPLOY_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/tee/replay_service.h"
+#include "src/workload/record_campaigns.h"
+#include "src/workload/rpi3_testbed.h"
+
+namespace dlt {
+
+// A deployment machine with devices assigned to the TEE and a ReplayService
+// hosting the given sealed package, with one session already open against it.
+// |replayer| is the registered device class's replayer inside the service
+// (reset/retry knobs and divergence reports for the ablation benches).
+struct Deployment {
+  std::unique_ptr<Rpi3Testbed> tb;
+  std::unique_ptr<ReplayService> service;
+  std::string driverlet;
+  SessionId session = 0;
+  Replayer* replayer = nullptr;  // owned by |service|
+};
+
+inline Deployment MakeDeployment(const std::vector<uint8_t>& sealed,
+                                 ReplayServiceConfig cfg = {}) {
+  Deployment d;
+  TestbedOptions opts;
+  opts.secure_io = true;
+  opts.probe_drivers = false;
+  d.tb = std::make_unique<Rpi3Testbed>(opts);
+  d.service = std::make_unique<ReplayService>(&d.tb->tee(), kDeveloperKey, cfg);
+  Result<std::string> name = d.service->RegisterDriverlet(sealed.data(), sealed.size());
+  if (!name.ok()) {
+    std::fprintf(stderr, "package registration failed: %s\n", StatusName(name.status()));
+    return d;
+  }
+  d.driverlet = *name;
+  d.replayer = d.service->replayer(d.driverlet);
+  Result<SessionId> sid = d.service->OpenSession(d.driverlet);
+  if (!sid.ok()) {
+    std::fprintf(stderr, "session open failed: %s\n", StatusName(sid.status()));
+    return d;
+  }
+  d.session = *sid;
+  return d;
+}
+
+// Records a campaign on a fresh developer machine and returns the sealed package.
+inline std::vector<uint8_t> BuildMmcPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordMmcCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildUsbPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordUsbCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildCameraPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordCameraCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildDisplayPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordDisplayCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildTouchPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordTouchCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+
+// Deterministic test payload: |len| bytes derived from |seed|.
+inline std::vector<uint8_t> PatternBuf(size_t len, uint64_t seed) {
+  std::vector<uint8_t> buf(len);
+  for (size_t i = 0; i < len; ++i) {
+    buf[i] = static_cast<uint8_t>((seed * 131 + i * 7 + (i >> 8)) & 0xff);
+  }
+  return buf;
+}
+
+}  // namespace dlt
+
+#endif  // SRC_WORKLOAD_DEPLOY_UTIL_H_

@@ -112,5 +112,285 @@ TEST_F(PackageFuzzTest, CrossFormatAgreement) {
   }
 }
 
+// ---- Seeded random-template property sweeps ----
+//
+// The campaign-based sweeps above only cover event shapes the real recorders
+// happen to emit. These generate structurally diverse templates from a seed
+// (kind-coherent fields, nested poll bodies, symbolic exprs over earlier
+// binds) and check the serialization properties hold for all of them.
+
+class FuzzRng {
+ public:
+  explicit FuzzRng(uint64_t seed) : s_(seed) {}
+  uint64_t Next() {  // splitmix64
+    uint64_t z = (s_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+  bool Chance(uint64_t percent) { return Below(100) < percent; }
+
+ private:
+  uint64_t s_;
+};
+
+// An expression over a random earlier bind (symbolic) or a constant.
+ExprRef RandomExpr(FuzzRng& rng, const std::vector<std::string>& binds) {
+  ExprRef base = binds.empty() || rng.Chance(40)
+                     ? Expr::Const(rng.Below(1u << 20))
+                     : Expr::Input(binds[rng.Below(binds.size())]);
+  if (rng.Chance(50)) {
+    const ExprOp ops[] = {ExprOp::kAdd, ExprOp::kAnd, ExprOp::kOr, ExprOp::kXor,
+                          ExprOp::kShl, ExprOp::kMul};
+    return Expr::Binary(ops[rng.Below(6)], base, Expr::Const(1 + rng.Below(255)));
+  }
+  return base;
+}
+
+void FillPollFields(FuzzRng& rng, TemplateEvent& e) {
+  e.mask = 1u << rng.Below(31);
+  e.want = rng.Chance(50) ? e.mask : 0;
+  e.poll_cmp = static_cast<Cmp>(rng.Below(6));
+  e.interval_us = 1 + rng.Below(50);
+  e.timeout_us = 100 + rng.Below(10000);  // zero would not survive text emit
+  e.recorded_iters = static_cast<uint32_t>(rng.Below(8));
+  if (rng.Chance(40)) {
+    TemplateEvent child;
+    child.kind = EventKind::kDelay;
+    child.value = Expr::Const(1 + rng.Below(100));
+    e.body.push_back(std::move(child));
+  }
+}
+
+InteractionTemplate MakeRandomTemplate(FuzzRng& rng, int index) {
+  InteractionTemplate t;
+  t.name = "fz_" + std::to_string(index) + "_" + std::to_string(rng.Below(1000));
+  t.entry = "replay_fuzz";
+  t.primary_device = static_cast<uint16_t>(rng.Below(16));
+  t.params.push_back(ParamSpec{"blkcnt", false});
+  t.params.push_back(ParamSpec{"buf", true});
+  if (rng.Chance(70)) {
+    t.initial.AddAtom(ConstraintAtom{Expr::Input("blkcnt"), Cmp::kLe,
+                                     Expr::Const(1 + rng.Below(64))});
+  }
+  if (rng.Chance(30)) {
+    t.initial.AddAtom(
+        ConstraintAtom{Expr::Input("blkcnt"), Cmp::kGt, Expr::Const(0)});
+  }
+
+  std::vector<std::string> binds;   // symbols later exprs may reference
+  std::vector<std::string> dmas;    // dma_alloc bindings for shm addrs
+  int n_events = 3 + static_cast<int>(rng.Below(8));
+  for (int i = 0; i < n_events; ++i) {
+    TemplateEvent e;
+    e.file = "fuzz_gen.cc";
+    e.line = 10 + i;
+    switch (rng.Below(10)) {
+      case 0: {  // reg_read, maybe state-changing with a constraint
+        e.kind = EventKind::kRegRead;
+        e.device = t.primary_device;
+        e.reg_off = rng.Below(0x100) * 4;
+        e.bind = "r" + std::to_string(i);
+        if (rng.Chance(50)) {
+          e.state_changing = true;
+          e.constraint.AddAtom(ConstraintAtom{Expr::Input(e.bind), Cmp::kEq,
+                                              Expr::Const(rng.Below(256))});
+        }
+        binds.push_back(e.bind);
+        break;
+      }
+      case 1:
+        e.kind = EventKind::kRegWrite;
+        e.device = t.primary_device;
+        e.reg_off = rng.Below(0x100) * 4;
+        e.value = RandomExpr(rng, binds);
+        break;
+      case 2:
+        e.kind = EventKind::kDmaAlloc;
+        e.bind = "dma" + std::to_string(i);
+        e.value = Expr::Const(512 << rng.Below(4));
+        binds.push_back(e.bind);
+        dmas.push_back(e.bind);
+        break;
+      case 3:
+        if (dmas.empty()) {
+          e.kind = EventKind::kGetTimestamp;
+          e.bind = "ts" + std::to_string(i);
+          binds.push_back(e.bind);
+          break;
+        }
+        e.kind = rng.Chance(50) ? EventKind::kShmWrite : EventKind::kShmRead;
+        e.addr = Expr::Binary(ExprOp::kAdd, Expr::Input(dmas[rng.Below(dmas.size())]),
+                              Expr::Const(rng.Below(64) * 4));
+        if (e.kind == EventKind::kShmWrite) {
+          e.value = RandomExpr(rng, binds);
+        } else {
+          e.bind = "s" + std::to_string(i);
+          binds.push_back(e.bind);
+        }
+        break;
+      case 4:
+        e.kind = EventKind::kWaitIrq;
+        e.irq_line = static_cast<int>(rng.Below(64));
+        if (rng.Chance(60)) {
+          e.timeout_us = 100 + rng.Below(5000);
+        }
+        break;
+      case 5:
+        e.kind = EventKind::kDelay;
+        e.value = Expr::Const(1 + rng.Below(500));
+        break;
+      case 6: {
+        e.kind = EventKind::kPollReg;
+        e.device = t.primary_device;
+        e.reg_off = rng.Below(0x100) * 4;
+        FillPollFields(rng, e);
+        break;
+      }
+      case 7:
+        if (dmas.empty()) {
+          e.kind = EventKind::kGetRandBytes;
+          e.bind = "rnd" + std::to_string(i);
+          binds.push_back(e.bind);
+          break;
+        }
+        e.kind = rng.Chance(50) ? EventKind::kCopyToDma : EventKind::kCopyFromDma;
+        e.buffer = "buf";
+        e.addr = Expr::Input(dmas[rng.Below(dmas.size())]);
+        e.value = Expr::Const(64 << rng.Below(4));
+        e.buf_offset = Expr::Const(rng.Below(16) * 64);
+        break;
+      case 8:
+        e.kind = rng.Chance(50) ? EventKind::kPioIn : EventKind::kPioOut;
+        e.device = t.primary_device;
+        e.reg_off = rng.Below(16) * 4;
+        if (e.kind == EventKind::kPioIn) {
+          e.bind = "p" + std::to_string(i);
+          binds.push_back(e.bind);
+        } else {
+          e.value = RandomExpr(rng, binds);
+        }
+        break;
+      default:
+        if (dmas.empty()) {
+          e.kind = EventKind::kGetTimestamp;
+          e.bind = "ts" + std::to_string(i);
+          binds.push_back(e.bind);
+          break;
+        }
+        e.kind = EventKind::kPollShm;
+        e.addr = Expr::Binary(ExprOp::kAdd, Expr::Input(dmas[rng.Below(dmas.size())]),
+                              Expr::Const(rng.Below(64) * 4));
+        FillPollFields(rng, e);
+        break;
+    }
+    t.events.push_back(std::move(e));
+  }
+  return t;
+}
+
+std::vector<InteractionTemplate> MakeRandomCampaign(uint64_t seed, int count) {
+  FuzzRng rng(seed);
+  std::vector<InteractionTemplate> out;
+  for (int i = 0; i < count; ++i) {
+    out.push_back(MakeRandomTemplate(rng, i));
+  }
+  return out;
+}
+
+TEST(SerializePropertyTest, RandomTemplatesBinaryRoundTripExact) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::vector<InteractionTemplate> ts = MakeRandomCampaign(seed, 3);
+    std::vector<uint8_t> bin = TemplatesToBinary(ts);
+    Result<std::vector<InteractionTemplate>> parsed =
+        TemplatesFromBinary(bin.data(), bin.size());
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed;
+    ASSERT_EQ(ts.size(), parsed->size()) << "seed " << seed;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      EXPECT_TRUE(SameStateTransition(ts[i].events, (*parsed)[i].events))
+          << "seed " << seed << " template " << i;
+    }
+    // Binary is full-fidelity: re-emission is byte-identical.
+    EXPECT_EQ(bin, TemplatesToBinary(*parsed)) << "seed " << seed;
+  }
+}
+
+TEST(SerializePropertyTest, RandomTemplatesTextRoundTripFixpoint) {
+  for (uint64_t seed = 100; seed <= 119; ++seed) {
+    std::vector<InteractionTemplate> ts = MakeRandomCampaign(seed, 3);
+    std::string text = TemplatesToText(ts);
+    Result<std::vector<InteractionTemplate>> parsed = TemplatesFromText(text);
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << "\n" << text;
+    ASSERT_EQ(ts.size(), parsed->size()) << "seed " << seed;
+    for (size_t i = 0; i < ts.size(); ++i) {
+      EXPECT_TRUE(SameStateTransition(ts[i].events, (*parsed)[i].events))
+          << "seed " << seed << " template " << i;
+      EXPECT_EQ(ts[i].initial.ToString(), (*parsed)[i].initial.ToString());
+    }
+    EXPECT_EQ(text, TemplatesToText(*parsed)) << "seed " << seed;
+  }
+}
+
+// Builds a deliberately small sealed package so the every-byte sweeps below
+// stay cheap (sealing is O(n); a whole-package sweep is O(n^2)).
+std::vector<uint8_t> SmallSealedPackage(PackageFormat format) {
+  DriverletPackage pkg;
+  pkg.driverlet = "fuzz";
+  pkg.templates = MakeRandomCampaign(7, 1);
+  return SealPackage(pkg, format, kDeveloperKey);
+}
+
+TEST(SerializePropertyTest, SealedTruncationAtEveryByteRejected) {
+  std::vector<uint8_t> sealed = SmallSealedPackage(PackageFormat::kBinary);
+  ASSERT_TRUE(OpenPackage(sealed.data(), sealed.size(), kDeveloperKey).ok());
+  for (size_t cut = 0; cut < sealed.size(); ++cut) {
+    Result<DriverletPackage> r = OpenPackage(sealed.data(), cut, kDeveloperKey);
+    ASSERT_FALSE(r.ok()) << "truncation at " << cut << " accepted";
+    EXPECT_TRUE(r.status() == Status::kCorrupt || r.status() == Status::kInvalidArg)
+        << "truncation at " << cut << ": " << StatusName(r.status());
+  }
+}
+
+TEST(SerializePropertyTest, SealedCorruptionAtEveryByteRejected) {
+  std::vector<uint8_t> sealed = SmallSealedPackage(PackageFormat::kText);
+  for (size_t pos = 0; pos < sealed.size(); ++pos) {
+    sealed[pos] ^= 0x80;
+    Result<DriverletPackage> r = OpenPackage(sealed.data(), sealed.size(), kDeveloperKey);
+    ASSERT_FALSE(r.ok()) << "flip at " << pos << " accepted";
+    EXPECT_TRUE(r.status() == Status::kCorrupt || r.status() == Status::kInvalidArg)
+        << "flip at " << pos << ": " << StatusName(r.status());
+    sealed[pos] ^= 0x80;
+  }
+  EXPECT_TRUE(OpenPackage(sealed.data(), sealed.size(), kDeveloperKey).ok());
+}
+
+TEST(SerializePropertyTest, RawBinaryTruncationAtEveryOffsetErrors) {
+  // Below the signature layer the parser has no HMAC to lean on; the trailing
+  // cursor check still guarantees every proper prefix is rejected.
+  std::vector<uint8_t> bin = TemplatesToBinary(MakeRandomCampaign(11, 1));
+  for (size_t cut = 0; cut < bin.size(); ++cut) {
+    Result<std::vector<InteractionTemplate>> r = TemplatesFromBinary(bin.data(), cut);
+    ASSERT_FALSE(r.ok()) << "prefix of " << cut << " bytes accepted";
+    EXPECT_TRUE(r.status() == Status::kCorrupt || r.status() == Status::kInvalidArg)
+        << "prefix " << cut << ": " << StatusName(r.status());
+  }
+}
+
+TEST(SerializePropertyTest, RawBinaryCorruptionAtEveryByteNeverCrashes) {
+  // A flipped byte may still decode to some valid template (e.g. inside a
+  // string payload); the property is memory-safety plus a clean status.
+  std::vector<uint8_t> bin = TemplatesToBinary(MakeRandomCampaign(13, 1));
+  for (size_t pos = 0; pos < bin.size(); ++pos) {
+    std::vector<uint8_t> bad = bin;
+    bad[pos] ^= 0xff;
+    Result<std::vector<InteractionTemplate>> r = TemplatesFromBinary(bad.data(), bad.size());
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status() == Status::kCorrupt || r.status() == Status::kInvalidArg)
+          << "flip at " << pos << ": " << StatusName(r.status());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dlt

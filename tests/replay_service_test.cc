@@ -253,6 +253,159 @@ TEST_F(ReplayServiceTest, ReadOnlyBufferViewIsEnforced) {
   EXPECT_EQ(Status::kPermissionDenied, r.status());
 }
 
+TEST_F(ReplayServiceTest, QueueRefillsAfterBusyDrain) {
+  // Backpressure is transient: a kBusy submitter can retry successfully as
+  // soon as the worker drains a slot, and the refused request occupied nothing.
+  ReplayServiceConfig cfg;
+  cfg.queue_depth = 2;
+  ReplayService svc(&tb_->tee(), kDeveloperKey, cfg);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+
+  std::vector<uint8_t> b1, b2, b3, b4;
+  Result<uint64_t> r1 = svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwWrite, 1, &b1));
+  Result<uint64_t> r2 = svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &b2));
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_EQ(Status::kBusy, svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 1, &b3)).status());
+
+  ASSERT_EQ(1u, svc.ProcessQueued(1));
+  Result<uint64_t> r3 = svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 1, &b3));
+  ASSERT_TRUE(r3.ok()) << StatusName(r3.status());
+  EXPECT_EQ(2u, svc.queue_backlog());
+  EXPECT_EQ(Status::kBusy, svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 1, &b4)).status());
+
+  EXPECT_EQ(2u, svc.ProcessQueued());
+  EXPECT_TRUE(svc.TakeCompletion(*r1).ok());
+  EXPECT_TRUE(svc.TakeCompletion(*r2).ok());
+  EXPECT_TRUE(svc.TakeCompletion(*r3).ok());
+  // The kBusy rejections were never enqueued: no stray completions, and only
+  // the accepted submissions were charged to the session.
+  EXPECT_EQ(0u, svc.queue_backlog());
+  EXPECT_EQ(3u, svc.Stats(*sid)->submitted);
+}
+
+TEST_F(ReplayServiceTest, ReRegisteringDriverletKeepsOpenSessionsWorking) {
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).ok());
+
+  // A package update arrives while the session is live: the session must keep
+  // its identity and stats, and route to the refreshed templates.
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  EXPECT_EQ(1u, svc.open_sessions());
+  Result<ReplayStats> r = svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf));
+  ASSERT_TRUE(r.ok()) << StatusName(r.status());
+  EXPECT_EQ(2u, svc.Stats(*sid)->invokes);
+}
+
+TEST_F(ReplayServiceTest, StatsAccumulateAcrossFailedInvokes) {
+  ReplayService svc(&tb_->tee(), kDeveloperKey);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+
+  std::vector<uint8_t> buf;
+  ASSERT_TRUE(svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwWrite, 1, &buf)).ok());
+
+  // Client error 1: uncovered input (no template admits blkcnt 0).
+  ReplayArgs uncovered = BlockArgs(kMmcRwRead, 8, &buf);
+  uncovered.scalars["blkcnt"] = 1000000;  // beyond any recorded coverage
+  EXPECT_EQ(Status::kNoTemplate, svc.Invoke(*sid, kMmcEntry, uncovered).status());
+  // Client error 2: read path refused a read-only buffer view.
+  ReplayArgs ro = BlockArgs(kMmcRwRead, 8, &buf);
+  ro.buffers.clear();
+  ro.ro_buffers["buf"] = ConstBufferView{buf.data(), buf.size()};
+  EXPECT_EQ(Status::kPermissionDenied, svc.Invoke(*sid, kMmcEntry, ro).status());
+  // Device failure: medium unplugged mid-session.
+  tb_->sd_medium().set_present(false);
+  EXPECT_EQ(Status::kAborted,
+            svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).status());
+  tb_->sd_medium().set_present(true);
+
+  Result<SessionStats> st = svc.Stats(*sid);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(4u, st->invokes);  // failures still count as invokes
+  EXPECT_EQ(3u, st->failures);
+  // Only the device failure advanced the health streak.
+  EXPECT_EQ(1u, st->consecutive_device_failures);
+  EXPECT_FALSE(st->quarantined);
+  // Successful-template accounting is untouched by the failures.
+  EXPECT_EQ(1u, st->per_template.at("WR_1"));
+  EXPECT_EQ(1u, st->per_template.size());
+
+  // A success clears the streak.
+  ASSERT_TRUE(svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).ok());
+  EXPECT_EQ(0u, svc.Stats(*sid)->consecutive_device_failures);
+}
+
+TEST_F(ReplayServiceTest, QuarantineFailsFastAndOnlyDeviceFailuresClimb) {
+  ReplayServiceConfig cfg;
+  cfg.quarantine_threshold = 2;
+  ReplayService svc(&tb_->tee(), kDeveloperKey, cfg);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+
+  std::vector<uint8_t> buf;
+  tb_->sd_medium().set_present(false);
+  EXPECT_EQ(Status::kAborted,
+            svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).status());
+
+  // A client error between the two device failures must not clear the streak
+  // (it says nothing about device health) — and must not quarantine either.
+  ReplayArgs uncovered = BlockArgs(kMmcRwRead, 8, &buf);
+  uncovered.scalars["blkcnt"] = 1000000;  // beyond any recorded coverage
+  EXPECT_EQ(Status::kNoTemplate, svc.Invoke(*sid, kMmcEntry, uncovered).status());
+  EXPECT_FALSE(svc.Stats(*sid)->quarantined);
+
+  EXPECT_EQ(Status::kAborted,
+            svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).status());
+  EXPECT_TRUE(svc.Stats(*sid)->quarantined);
+  EXPECT_EQ(1u, svc.quarantined_sessions());
+
+  // Rung 3 is terminal for the session: even with the device healthy again,
+  // both paths fail fast with the dedicated status and no device access.
+  tb_->sd_medium().set_present(true);
+  uint64_t resets_before = svc.replayer("mmc")->total_resets();
+  EXPECT_EQ(Status::kQuarantined,
+            svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).status());
+  EXPECT_EQ(Status::kQuarantined,
+            svc.Submit(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).status());
+  EXPECT_EQ(resets_before, svc.replayer("mmc")->total_resets());
+  EXPECT_EQ(0u, svc.queue_backlog());
+
+  // The only way out is a fresh session, which starts with a clean slate.
+  EXPECT_EQ(Status::kOk, svc.CloseSession(*sid));
+  Result<SessionId> fresh = svc.OpenSession("mmc");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(svc.Invoke(*fresh, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).ok());
+  EXPECT_EQ(1u, svc.quarantined_sessions());  // cumulative, not live count
+}
+
+TEST_F(ReplayServiceTest, QuarantineThresholdZeroDisablesTheLadder) {
+  ReplayServiceConfig cfg;
+  cfg.quarantine_threshold = 0;
+  ReplayService svc(&tb_->tee(), kDeveloperKey, cfg);
+  ASSERT_TRUE(svc.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  ASSERT_TRUE(sid.ok());
+
+  std::vector<uint8_t> buf;
+  tb_->sd_medium().set_present(false);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(Status::kAborted,
+              svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).status());
+  }
+  EXPECT_FALSE(svc.Stats(*sid)->quarantined);
+  EXPECT_EQ(0u, svc.quarantined_sessions());
+  tb_->sd_medium().set_present(true);
+  EXPECT_TRUE(svc.Invoke(*sid, kMmcEntry, BlockArgs(kMmcRwRead, 8, &buf)).ok());
+}
+
 // ---- TemplateStore unit tests (no machine required) ----
 
 InteractionTemplate SynthTemplate(const char* name, const char* entry,

@@ -1,4 +1,5 @@
-// Shared helpers for the test suite.
+// Shared helpers for the test suite. Deployment/package builders and
+// PatternBuf live in src/workload/deploy_util.h, shared with the benches.
 #ifndef TESTS_TEST_UTIL_H_
 #define TESTS_TEST_UTIL_H_
 
@@ -7,6 +8,7 @@
 #include <vector>
 
 #include "src/kern/block_layer.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 
@@ -53,14 +55,6 @@ class MemBlockDevice : public BlockDevice {
   std::map<uint64_t, std::vector<uint8_t>> data_;
   uint64_t ops_ = 0;
 };
-
-inline std::vector<uint8_t> PatternBuf(size_t len, uint64_t seed) {
-  std::vector<uint8_t> buf(len);
-  for (size_t i = 0; i < len; ++i) {
-    buf[i] = static_cast<uint8_t>((seed * 131 + i * 7 + (i >> 8)) & 0xff);
-  }
-  return buf;
-}
 
 }  // namespace dlt
 

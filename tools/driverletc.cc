@@ -14,10 +14,16 @@
 //       Smoke replay with telemetry armed; writes a Chrome trace-event JSON
 //       file (open in chrome://tracing or https://ui.perfetto.dev) and prints
 //       the metrics summary. See docs/observability.md.
+//   driverletc faultsweep [--seeds N] [--base-seed S] [--ops K] [-o matrix.json]
+//       Runs the seeded fault-matrix campaign (fault planes x driverlets x
+//       seeds) through the recovery policy ladder and prints per-cell recovery
+//       rates. Deterministic: same seeds produce byte-identical JSON. See
+//       docs/fault_injection.md.
 //
 // The signing key is fixed (kDeveloperKey) — this mirrors the single developer
 // identity of the paper's threat model; a real deployment would provision keys.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 
@@ -25,6 +31,7 @@
 #include "src/core/replayer.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/telemetry.h"
+#include "src/workload/fault_campaign.h"
 #include "src/workload/record_campaigns.h"
 #include "src/workload/rpi3_testbed.h"
 
@@ -38,7 +45,9 @@ int Usage() {
                "       driverletc inspect <pkg>\n"
                "       driverletc verify <pkg>\n"
                "       driverletc smoke <pkg>\n"
-               "       driverletc trace <pkg> -o <trace.json>\n");
+               "       driverletc trace <pkg> -o <trace.json>\n"
+               "       driverletc faultsweep [--seeds N] [--base-seed S] [--ops K]"
+               " [-o <matrix.json>]\n");
   return 2;
 }
 
@@ -229,9 +238,60 @@ int CmdTrace(int argc, char** argv) {
   return 0;
 }
 
+// Sweeps fault planes x driverlets x seeds through the recovery ladder and
+// reports per-cell recovery rates (same engine as bench/fault_matrix).
+int CmdFaultSweep(int argc, char** argv) {
+  int num_seeds = 4;
+  uint64_t base_seed = 1;
+  int ops = 6;
+  const char* out = nullptr;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      num_seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--base-seed") == 0 && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
+      ops = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (num_seeds < 1 || ops < 1) {
+    return Usage();
+  }
+
+  FaultMatrixConfig cfg;
+  cfg.seeds.clear();
+  for (int i = 0; i < num_seeds; ++i) {
+    cfg.seeds.push_back(base_seed + static_cast<uint64_t>(i));
+  }
+  cfg.ops_per_cell = ops;
+
+  std::printf("fault sweep: %d seeds x 3 planes x %zu driverlets, %d ops/cell\n",
+              num_seeds, cfg.driverlets.size(), ops);
+  FaultMatrix m = RunFaultMatrix(cfg);
+  PrintFaultMatrix(m, stdout);
+
+  if (out != nullptr) {
+    std::string json = FaultMatrixToJson(m);
+    std::ofstream of(out, std::ios::binary);
+    if (!of.write(json.data(), static_cast<std::streamsize>(json.size()))) {
+      std::fprintf(stderr, "cannot write %s\n", out);
+      return 1;
+    }
+    std::printf("wrote %s\n", out);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "faultsweep") == 0) {
+    return CmdFaultSweep(argc, argv);
+  }
   if (argc < 3) {
     return Usage();
   }
