@@ -1,22 +1,9 @@
-// Shared helpers for the benchmark binaries (one per paper table/figure).
-// Deployment/package builders live in src/workload/deploy_util.h, shared with
-// the test suite and the fault-matrix campaign.
+// Compatibility shim: every shared bench helper (deployment/package builders,
+// PatternBuf, PrintRule) lives in src/workload/deploy_util.h, shared with the
+// test suite and the fault-matrix campaign. Keep this file a pure forward.
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
-#include <cstdio>
-
 #include "src/workload/deploy_util.h"
-
-namespace dlt {
-
-inline void PrintRule(int width = 78) {
-  for (int i = 0; i < width; ++i) {
-    std::putchar('-');
-  }
-  std::putchar('\n');
-}
-
-}  // namespace dlt
 
 #endif  // BENCH_BENCH_UTIL_H_

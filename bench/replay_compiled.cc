@@ -1,0 +1,237 @@
+// Interpreted vs compiled replay: runs the same request stream against each
+// driverlet class (MMC, USB, camera) under both engines and reports the
+// deterministic CPU cost model per invoke (interpreter: kReplayInterpEventNs
+// per event; compiled: kCompiledOpNs per op + kCompiledWordNs per covered
+// word). Every number is integer arithmetic over the model — two runs emit
+// byte-identical BENCH_replay_compiled.json, which CI checks with cmp.
+//
+// Built-in guards (CI runs this binary): the compiled model cost must be
+// strictly below the interpreted cost for every driverlet class, every
+// compiled invoke must actually run compiled (no silent fallback), and each
+// driverlet's program must execute at least one coalesced bulk op.
+//
+//   replay_compiled [--invokes N] [--out PATH]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/compiled_program.h"
+
+namespace dlt {
+namespace {
+
+struct EngineTotals {
+  uint64_t invokes = 0;
+  uint64_t events = 0;
+  uint64_t model_ns = 0;
+  uint64_t bulk_ops = 0;
+  uint64_t fallbacks = 0;  // compiled invokes that ran the interpreter
+};
+
+struct DriverletRow {
+  std::string driverlet;
+  EngineTotals interp;
+  EngineTotals compiled;
+};
+
+ReplayArgs BlockArgs(int i, std::vector<uint8_t>* buf) {
+  ReplayArgs args;
+  args.scalars = {{"rw", (i % 2) == 0 ? kMmcRwRead : kMmcRwWrite},
+                  {"blkcnt", 8},
+                  {"blkid", 2048 + static_cast<uint64_t>(i) * 64},
+                  {"flag", 0}};
+  args.buffers["buf"] = BufferView{buf->data(), 8 * 512};
+  return args;
+}
+
+ReplayArgs CameraArgs(std::vector<uint8_t>* buf, std::vector<uint8_t>* img_size) {
+  ReplayArgs args;
+  args.scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", buf->size()}};
+  args.buffers["buf"] = BufferView{buf->data(), buf->size()};
+  args.buffers["img_size"] = BufferView{img_size->data(), img_size->size()};
+  return args;
+}
+
+bool RunEngine(Deployment* d, const std::string& driverlet, int invokes, ReplayEngine engine,
+               EngineTotals* out) {
+  d->replayer->set_engine(engine);
+  std::vector<uint8_t> block_buf(8 * 512, 0x5c);
+  std::vector<uint8_t> cam_buf;
+  std::vector<uint8_t> img_size(4, 0);
+  if (driverlet == "camera") {
+    cam_buf.assign(Vc4Firmware::FrameBytes(1440) + 4096, 0);
+  }
+  for (int i = 0; i < invokes; ++i) {
+    ReplayArgs args = driverlet == "camera" ? CameraArgs(&cam_buf, &img_size)
+                                            : BlockArgs(i, &block_buf);
+    const char* entry = driverlet == "camera" ? kCameraEntry
+                        : driverlet == "usb"  ? kUsbEntry
+                                              : kMmcEntry;
+    Result<ReplayStats> r = d->service->Invoke(d->session, entry, args);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL: %s invoke %d (%s engine): %s\n", driverlet.c_str(), i,
+                   engine == ReplayEngine::kCompiled ? "compiled" : "interpreted",
+                   StatusName(r.status()));
+      return false;
+    }
+    ++out->invokes;
+    out->events += r->events_executed;
+    if (engine == ReplayEngine::kCompiled) {
+      out->bulk_ops += r->bulk_ops;
+      out->model_ns += r->cpu_model_ns;
+      if (!r->compiled) {
+        ++out->fallbacks;
+      }
+    } else {
+      // The interpreter's deterministic model: one kReplayInterpEventNs charge
+      // per executed event (what Executor bills to the virtual clock).
+      out->model_ns += r->events_executed * kReplayInterpEventNs;
+    }
+  }
+  return true;
+}
+
+uint64_t NsPerInvoke(const EngineTotals& t) {
+  return t.invokes == 0 ? 0 : t.model_ns / t.invokes;
+}
+
+uint64_t EventsPerSec(const EngineTotals& t) {
+  return t.model_ns == 0 ? 0 : (t.events * 1'000'000'000ull) / t.model_ns;
+}
+
+void PrintEngineJson(std::FILE* f, const char* key, const EngineTotals& t, const char* suffix) {
+  std::fprintf(f,
+               "    \"%s\": {\"invokes\": %llu, \"events\": %llu, \"model_ns_total\": %llu, "
+               "\"ns_per_invoke\": %llu, \"events_per_sec\": %llu, \"bulk_ops\": %llu, "
+               "\"fallbacks\": %llu}%s\n",
+               key, static_cast<unsigned long long>(t.invokes),
+               static_cast<unsigned long long>(t.events),
+               static_cast<unsigned long long>(t.model_ns),
+               static_cast<unsigned long long>(NsPerInvoke(t)),
+               static_cast<unsigned long long>(EventsPerSec(t)),
+               static_cast<unsigned long long>(t.bulk_ops),
+               static_cast<unsigned long long>(t.fallbacks), suffix);
+}
+
+}  // namespace
+}  // namespace dlt
+
+int main(int argc, char** argv) {
+  using namespace dlt;
+
+  int invokes = 24;
+  std::string out_path = "BENCH_replay_compiled.json";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--invokes") == 0) {
+      invokes = std::atoi(next("--invokes"));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next("--out");
+    } else {
+      std::fprintf(stderr, "usage: replay_compiled [--invokes N] [--out PATH]\n");
+      return 2;
+    }
+  }
+  if (invokes < 1) {
+    std::fprintf(stderr, "--invokes must be >= 1\n");
+    return 2;
+  }
+
+  std::printf("replay engines: interpreted vs compiled, %d invokes/engine/driverlet\n", invokes);
+  PrintRule();
+
+  const struct {
+    const char* name;
+    std::vector<uint8_t> (*build)();
+  } classes[] = {
+      {"mmc", BuildMmcPackage}, {"usb", BuildUsbPackage}, {"camera", BuildCameraPackage}};
+
+  std::vector<DriverletRow> rows;
+  for (const auto& cls : classes) {
+    std::vector<uint8_t> pkg = cls.build();
+    if (pkg.empty()) {
+      std::fprintf(stderr, "FAIL: %s record campaign produced no package\n", cls.name);
+      return 1;
+    }
+    Deployment d = MakeDeployment(pkg);
+    if (d.session == 0 || d.replayer == nullptr) {
+      std::fprintf(stderr, "FAIL: %s deployment failed\n", cls.name);
+      return 1;
+    }
+    DriverletRow row;
+    row.driverlet = cls.name;
+    if (!RunEngine(&d, row.driverlet, invokes, ReplayEngine::kInterpreter, &row.interp) ||
+        !RunEngine(&d, row.driverlet, invokes, ReplayEngine::kCompiled, &row.compiled)) {
+      return 1;
+    }
+    std::printf("%-8s interpreted %8llu ns/invoke | compiled %8llu ns/invoke "
+                "(%llu bulk ops, %llu events)\n",
+                row.driverlet.c_str(),
+                static_cast<unsigned long long>(NsPerInvoke(row.interp)),
+                static_cast<unsigned long long>(NsPerInvoke(row.compiled)),
+                static_cast<unsigned long long>(row.compiled.bulk_ops),
+                static_cast<unsigned long long>(row.compiled.events));
+    rows.push_back(std::move(row));
+  }
+  PrintRule();
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"invokes_per_engine\": %d,\n", invokes);
+  std::fprintf(f, "  \"model\": {\"interp_event_ns\": %llu, \"compiled_op_ns\": %llu, "
+               "\"compiled_word_ns\": %llu},\n",
+               static_cast<unsigned long long>(kReplayInterpEventNs),
+               static_cast<unsigned long long>(kCompiledOpNs),
+               static_cast<unsigned long long>(kCompiledWordNs));
+  std::fprintf(f, "  \"driverlets\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f, "  {\n    \"driverlet\": \"%s\",\n", rows[i].driverlet.c_str());
+    PrintEngineJson(f, "interpreted", rows[i].interp, ",");
+    PrintEngineJson(f, "compiled", rows[i].compiled, "");
+    std::fprintf(f, "  }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // Regression guards (the acceptance criteria, enforced where CI runs them).
+  bool fail = false;
+  for (const DriverletRow& r : rows) {
+    if (r.compiled.model_ns >= r.interp.model_ns) {
+      std::fprintf(stderr, "FAIL: %s compiled model cost not below interpreted (%llu >= %llu)\n",
+                   r.driverlet.c_str(), static_cast<unsigned long long>(r.compiled.model_ns),
+                   static_cast<unsigned long long>(r.interp.model_ns));
+      fail = true;
+    }
+    if (r.compiled.bulk_ops == 0) {
+      std::fprintf(stderr, "FAIL: %s compiled path executed no coalesced bulk op\n",
+                   r.driverlet.c_str());
+      fail = true;
+    }
+    if (r.compiled.fallbacks != 0) {
+      std::fprintf(stderr, "FAIL: %s had %llu interpreter fallbacks under the compiled engine\n",
+                   r.driverlet.c_str(), static_cast<unsigned long long>(r.compiled.fallbacks));
+      fail = true;
+    }
+    if (r.compiled.events != r.interp.events) {
+      std::fprintf(stderr, "FAIL: %s event counts differ across engines (%llu vs %llu)\n",
+                   r.driverlet.c_str(), static_cast<unsigned long long>(r.compiled.events),
+                   static_cast<unsigned long long>(r.interp.events));
+      fail = true;
+    }
+  }
+  return fail ? 1 : 0;
+}

@@ -1,0 +1,108 @@
+// CompiledExecutor: dispatches a CompiledProgram against a ReplayContext with
+// semantics byte-identical to the interpreter (executor.cc) — same device
+// access sequence, same virtual-time charges, same divergence reports, same
+// telemetry events — while the deterministic CPU cost model (cpu_model_ns)
+// captures the dispatch win. See docs/replay_compiler.md for the equivalence
+// contract and the fallback rules.
+#ifndef SRC_CORE_COMPILED_EXECUTOR_H_
+#define SRC_CORE_COMPILED_EXECUTOR_H_
+
+#include <vector>
+
+#include "src/core/compiled_program.h"
+#include "src/core/replay_args.h"
+#include "src/core/replay_context.h"
+
+namespace dlt {
+
+class CompiledExecutor {
+ public:
+  CompiledExecutor(ReplayContext* ctx, const CompiledProgram* prog, const ReplayArgs* args);
+
+  // Executes the whole program once. kDiverged / kTimeout fill the report.
+  Status Run(DivergenceReport* report);
+
+  size_t events_executed() const { return events_executed_; }
+  // Deterministic model cost of the ops dispatched so far (docs/replay_compiler.md).
+  uint64_t cpu_model_ns() const { return cpu_model_ns_; }
+  // Coalesced block transfers executed (shm bulk + multi-word PIO).
+  uint64_t bulk_ops() const { return bulk_ops_; }
+
+  // When set, charges the context's replay-overhead hook with the compiled
+  // cost model instead of the interpreter-parity charge. Default off: parity
+  // charging keeps virtual timelines (poll budgets, IRQ deadlines, seeded
+  // fault-opportunity streams) byte-identical between engines.
+  void set_model_clock(bool on) { model_clock_ = on; }
+
+ private:
+  struct BufSlot {
+    uint8_t* w = nullptr;
+    size_t wlen = 0;
+    const uint8_t* r = nullptr;
+    size_t rlen = 0;
+    bool have_w = false;
+    bool have_ro = false;
+  };
+
+  Status ExecRange(uint32_t begin, uint32_t end, DivergenceReport* report);
+  Status ExecOp(const CompiledOp& op, DivergenceReport* report);
+  Status Dispatch(const CompiledOp& op, DivergenceReport* report);
+  Status ExecBulk(const CompiledOp& op, DivergenceReport* report, bool telemetry);
+  Status ExecBulkExact(const CompiledOp& op, DivergenceReport* report, bool telemetry);
+  Status ExecPoll(const CompiledOp& op, DivergenceReport* report);
+
+  // Operand evaluation with the interpreter's error mapping: any failure
+  // surfaces as kCorrupt (Executor::EvalExpr).
+  Result<uint64_t> EvalValue(const Operand& o) const;
+  Result<PhysAddr> EvalAddrChecked(const Operand& o, size_t access_len) const;
+  Status CheckAddr(PhysAddr addr, size_t access_len) const;
+  Status BindAndCheck(const CompiledOp& op, uint64_t observed, DivergenceReport* report);
+  Status CheckAtoms(uint32_t begin, uint32_t end, const SrcEvent& se, uint64_t observed,
+                    DivergenceReport* report);
+  // Buffer resolution mirrors Executor::ResolveWritable/ResolveReadable +
+  // CheckBufferSpan, including the status flavours and their ordering.
+  Status ResolveWritableBuf(const CompiledOp& op, uint8_t** data, uint64_t* off, uint64_t* len);
+  Status ResolveReadableBuf(const CompiledOp& op, const uint8_t** data, uint64_t* off,
+                            uint64_t* len);
+  Status CheckSpanRaw(const uint8_t* data, size_t buflen, const CompiledOp& op, uint64_t* off,
+                      uint64_t* len) const;
+
+  // Interpreter-parity virtual-time charge for one covered source event.
+  void ChargeEvent() {
+    if (!model_clock_) {
+      ctx_->ChargeReplayOverheadNs(kReplayInterpEventNs);
+    }
+  }
+  // Model accounting for one op covering |words| source events; charges the
+  // clock instead of the parity charge when the model clock is selected.
+  void AccountOp(uint64_t words) {
+    uint64_t cost = kCompiledOpNs + kCompiledWordNs * words;
+    cpu_model_ns_ += cost;
+    if (model_clock_) {
+      ctx_->ChargeReplayOverheadNs(cost);
+    }
+  }
+
+  ReplayContext* ctx_;
+  const CompiledProgram* prog_;
+  const ReplayArgs* args_;
+
+  std::vector<uint64_t> slots_;
+  std::vector<uint8_t> bound_;
+  std::vector<BufSlot> bufs_;
+  struct Alloc {
+    PhysAddr base;
+    uint64_t size;
+  };
+  std::vector<Alloc> allocs_;
+  std::vector<uint32_t> scratch_;  // staging words for bulk/PIO transfers
+
+  size_t events_executed_ = 0;
+  uint64_t cpu_model_ns_ = 0;
+  uint64_t bulk_ops_ = 0;
+  bool model_clock_ = false;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_COMPILED_EXECUTOR_H_

@@ -5,18 +5,15 @@
 #include <cstring>
 #include <sstream>
 
+#include "src/core/compiled_program.h"
 #include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
 
-namespace {
-// Interpreter cost per event; charged through the context's timing hook.
-constexpr uint64_t kPerEventNs = 800;
-
 // Per-kind replay latency histograms, resolved once per kind (registrations
 // are permanent, so the cached pointers stay valid across Telemetry::Reset).
-Histogram& KindHistogram(EventKind k) {
+Histogram& ReplayKindHistogram(EventKind k) {
   static std::array<Histogram*, 16> cache{};
   size_t i = static_cast<size_t>(k);
   if (cache[i] == nullptr) {
@@ -25,7 +22,6 @@ Histogram& KindHistogram(EventKind k) {
   }
   return *cache[i];
 }
-}  // namespace
 
 std::string DescribeEvent(const TemplateEvent& e) {
   std::ostringstream os;
@@ -88,19 +84,20 @@ Result<PhysAddr> Executor::EvalAddr(const ExprRef& e, size_t access_len) const {
   return addr;
 }
 
-void Executor::FillDivergence(const TemplateEvent& e, size_t index, uint64_t observed,
-                              DivergenceReport* report) const {
+void FillDivergenceReport(ReplayContext* ctx, const InteractionTemplate& tpl,
+                          const TemplateEvent& e, size_t index, uint64_t observed,
+                          DivergenceReport* report) {
   // Single choke point for every divergence flavour (constraint violation,
-  // poll/IRQ timeout, allocation failure) — telemetry taps it here.
+  // poll/IRQ timeout, allocation failure) across both replay engines —
+  // telemetry taps it here.
   Telemetry& t = Telemetry::Get();
   if (t.enabled()) {
     t.metrics().counter("replay.divergences").Inc();
-    t.metrics().counter("replay.constraint_failures." + tpl_->name).Inc();
-    t.Instant(TraceKind::kDivergence, ctx_->TimestampUs(), tpl_->name, observed, index,
-              e.device);
+    t.metrics().counter("replay.constraint_failures." + tpl.name).Inc();
+    t.Instant(TraceKind::kDivergence, ctx->TimestampUs(), tpl.name, observed, index, e.device);
   }
   report->valid = true;
-  report->template_name = tpl_->name;
+  report->template_name = tpl.name;
   report->event_index = index;
   report->event_desc = DescribeEvent(e);
   report->file = e.file;
@@ -108,9 +105,14 @@ void Executor::FillDivergence(const TemplateEvent& e, size_t index, uint64_t obs
   report->observed = observed;
   report->expected_constraint = e.constraint.ToString();
   report->rewound.clear();
-  for (size_t i = 0; i <= index && i < tpl_->events.size(); ++i) {
-    report->rewound.push_back(DescribeEvent(tpl_->events[i]));
+  for (size_t i = 0; i <= index && i < tpl.events.size(); ++i) {
+    report->rewound.push_back(DescribeEvent(tpl.events[i]));
   }
+}
+
+void Executor::FillDivergence(const TemplateEvent& e, size_t index, uint64_t observed,
+                              DivergenceReport* report) const {
+  FillDivergenceReport(ctx_, *tpl_, e, index, observed, report);
 }
 
 Status Executor::BindAndCheck(const TemplateEvent& e, size_t index, uint64_t observed,
@@ -196,14 +198,14 @@ Status Executor::RunOne(const TemplateEvent& e, size_t index, DivergenceReport* 
   Status s = ExecuteOne(e, index, report);
   uint64_t dur = ctx_->TimestampUs() - t0;
   t.metrics().counter("replay.events").Inc();
-  KindHistogram(e.kind).Record(dur);
+  ReplayKindHistogram(e.kind).Record(dur);
   t.Span(TraceKind::kReplayEvent, t0, dur, EventKindName(e.kind), index,
          static_cast<uint64_t>(s), e.device);
   return s;
 }
 
 Status Executor::ExecuteOne(const TemplateEvent& e, size_t index, DivergenceReport* report) {
-  ctx_->ChargeReplayOverheadNs(kPerEventNs);
+  ctx_->ChargeReplayOverheadNs(kReplayInterpEventNs);
   ++events_executed_;
   switch (e.kind) {
     case EventKind::kRegRead: {
@@ -252,11 +254,13 @@ Status Executor::ExecuteOne(const TemplateEvent& e, size_t index, DivergenceRepo
       uint64_t off = 0;
       uint64_t len = 0;
       DLT_ASSIGN_OR_RETURN(BufferView buf, ResolveWritable(e, &off, &len));
-      for (uint64_t done = 0; done < len; done += 4) {
-        DLT_ASSIGN_OR_RETURN(uint32_t w, ctx_->RegRead32(e.device, e.reg_off));
-        size_t take = static_cast<size_t>(std::min<uint64_t>(4, len - done));
-        std::memcpy(buf.data + off + done, &w, take);
+      if (len == 0) {
+        return Status::kOk;
       }
+      size_t words = static_cast<size_t>((len + 3) / 4);
+      pio_scratch_.assign(words, 0);
+      DLT_RETURN_IF_ERROR(ctx_->RegReadBlock32(e.device, e.reg_off, pio_scratch_.data(), words));
+      std::memcpy(buf.data + off, pio_scratch_.data(), static_cast<size_t>(len));
       return Status::kOk;
     }
     case EventKind::kRegWrite: {
@@ -284,13 +288,13 @@ Status Executor::ExecuteOne(const TemplateEvent& e, size_t index, DivergenceRepo
       uint64_t off = 0;
       uint64_t len = 0;
       DLT_ASSIGN_OR_RETURN(ConstBufferView buf, ResolveReadable(e, &off, &len));
-      for (uint64_t done = 0; done < len; done += 4) {
-        uint32_t w = 0;
-        size_t take = static_cast<size_t>(std::min<uint64_t>(4, len - done));
-        std::memcpy(&w, buf.data + off + done, take);
-        DLT_RETURN_IF_ERROR(ctx_->RegWrite32(e.device, e.reg_off, w));
+      if (len == 0) {
+        return Status::kOk;
       }
-      return Status::kOk;
+      size_t words = static_cast<size_t>((len + 3) / 4);
+      pio_scratch_.assign(words, 0);  // zero-pads the tail word
+      std::memcpy(pio_scratch_.data(), buf.data + off, static_cast<size_t>(len));
+      return ctx_->RegWriteBlock32(e.device, e.reg_off, pio_scratch_.data(), words);
     }
     case EventKind::kPollReg:
     case EventKind::kPollShm: {

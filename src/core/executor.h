@@ -13,6 +13,8 @@
 
 namespace dlt {
 
+class Histogram;
+
 class Executor {
  public:
   Executor(ReplayContext* ctx, const InteractionTemplate* tpl, const ReplayArgs* args);
@@ -58,11 +60,23 @@ class Executor {
     uint64_t size;
   };
   std::vector<Alloc> allocs_;
+  std::vector<uint32_t> pio_scratch_;  // staging words for PIO block transfers
   size_t events_executed_ = 0;
 };
 
 // Renders an event for reports: "reg_write mmc+0x34 @bcm_sdhost.cc:210".
 std::string DescribeEvent(const TemplateEvent& e);
+
+// Divergence-report choke point shared by the interpreter and the compiled
+// executor (compiled_executor.cc): telemetry taps, report fields, and the
+// rewound-event listing must stay byte-identical between engines.
+void FillDivergenceReport(ReplayContext* ctx, const InteractionTemplate& tpl,
+                          const TemplateEvent& e, size_t index, uint64_t observed,
+                          DivergenceReport* report);
+
+// Per-kind replay latency histogram, shared between engines so both record
+// into the same "replay.us.<kind>" series.
+Histogram& ReplayKindHistogram(EventKind k);
 
 }  // namespace dlt
 

@@ -44,6 +44,12 @@ struct ReplayStats {
   int attempts = 0;
   size_t events_executed = 0;
   int resets = 0;
+  // Engine accounting: whether the compiled engine ran the successful attempt,
+  // its deterministic model cost, and the coalesced block transfers it issued
+  // (see docs/replay_compiler.md). All zero on interpreter runs.
+  bool compiled = false;
+  uint64_t cpu_model_ns = 0;
+  uint64_t bulk_ops = 0;
 };
 
 // Diagnostic produced when the executor gives up: the divergent event plus the

@@ -21,6 +21,24 @@ class ReplayContext {
   virtual Result<uint32_t> RegRead32(uint16_t device, uint64_t offset) = 0;
   virtual Status RegWrite32(uint16_t device, uint64_t offset, uint32_t value) = 0;
 
+  // PIO block transfers: |words| repeated accesses of the same register.
+  // Contexts may override to resolve the device mapping once per block
+  // (SecureWorld uses AddressSpace::MmioAt); the defaults preserve the exact
+  // per-word semantics for contexts that don't.
+  virtual Status RegReadBlock32(uint16_t device, uint64_t offset, uint32_t* out, size_t words) {
+    for (size_t i = 0; i < words; ++i) {
+      DLT_ASSIGN_OR_RETURN(out[i], RegRead32(device, offset));
+    }
+    return Status::kOk;
+  }
+  virtual Status RegWriteBlock32(uint16_t device, uint64_t offset, const uint32_t* values,
+                                 size_t words) {
+    for (size_t i = 0; i < words; ++i) {
+      DLT_RETURN_IF_ERROR(RegWrite32(device, offset, values[i]));
+    }
+    return Status::kOk;
+  }
+
   // DMA / shared memory (physical addresses within this context's pool).
   virtual Result<uint32_t> MemRead32(PhysAddr addr) = 0;
   virtual Status MemWrite32(PhysAddr addr, uint32_t value) = 0;

@@ -1,5 +1,6 @@
 #include "src/core/replayer.h"
 
+#include "src/core/compiled_executor.h"
 #include "src/core/executor.h"
 #include "src/obs/telemetry.h"
 #include "src/soc/log.h"
@@ -43,17 +44,37 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
   uint64_t invoke_t0 = tel.enabled() ? ctx_->TimestampUs() : 0;
 
   // Selection goes through the store's (driverlet, entry) index; args.scalars
-  // doubles as the constraint bindings (no per-invoke rebuild).
+  // doubles as the constraint bindings (no per-invoke rebuild). The compiled
+  // engine uses the cached selection path, which also hands back the
+  // template's compiled program (null = interpreter fallback).
   std::vector<const InteractionTemplate*> rejected;
-  Result<const InteractionTemplate*> sel =
-      store_->Select(scope_, entry, args.scalars, tel.enabled() ? &rejected : nullptr);
-  if (!sel.ok()) {
-    if (tel.enabled() && sel.status() == Status::kNoTemplate) {
-      tel.metrics().counter("replay.template_miss").Inc();
+  const InteractionTemplate* tpl = nullptr;
+  std::shared_ptr<const CompiledProgram> prog;
+  if (engine_ == ReplayEngine::kCompiled) {
+    Result<TemplateStore::CompiledSelection> sel =
+        store_->SelectCompiled(scope_, entry, args.scalars, tel.enabled() ? &rejected : nullptr);
+    if (!sel.ok()) {
+      if (tel.enabled() && sel.status() == Status::kNoTemplate) {
+        tel.metrics().counter("replay.template_miss").Inc();
+      }
+      return sel.status();
     }
-    return sel.status();
+    tpl = sel->tpl;
+    prog = sel->program;
+    if (prog == nullptr && tel.enabled()) {
+      tel.metrics().counter("replay.compile_fallbacks").Inc();
+    }
+  } else {
+    Result<const InteractionTemplate*> sel =
+        store_->Select(scope_, entry, args.scalars, tel.enabled() ? &rejected : nullptr);
+    if (!sel.ok()) {
+      if (tel.enabled() && sel.status() == Status::kNoTemplate) {
+        tel.metrics().counter("replay.template_miss").Inc();
+      }
+      return sel.status();
+    }
+    tpl = *sel;
   }
-  const InteractionTemplate* tpl = *sel;
   if (tel.enabled()) {
     for (const InteractionTemplate* r : rejected) {
       tel.Instant(TraceKind::kTemplateRejected, ctx_->TimestampUs(), r->name, 0, 0,
@@ -66,6 +87,7 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
 
   ReplayStats stats;
   stats.template_name = tpl->name;
+  stats.compiled = prog != nullptr;
   report_ = DivergenceReport{};
 
   for (int attempt = 1; attempt <= max_attempts_; ++attempt) {
@@ -98,10 +120,22 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
     }
     ctx_->DmaReleaseAll();
 
-    Executor exec(ctx_, tpl, &args);
-    Status s = exec.Run(&report_);
-    stats.events_executed += exec.events_executed();
-    total_events_ += exec.events_executed();
+    Status s = Status::kOk;
+    size_t events = 0;
+    if (prog != nullptr) {
+      CompiledExecutor exec(ctx_, prog.get(), &args);
+      exec.set_model_clock(compiled_model_clock_);
+      s = exec.Run(&report_);
+      events = exec.events_executed();
+      stats.cpu_model_ns += exec.cpu_model_ns();
+      stats.bulk_ops += exec.bulk_ops();
+    } else {
+      Executor exec(ctx_, tpl, &args);
+      s = exec.Run(&report_);
+      events = exec.events_executed();
+    }
+    stats.events_executed += events;
+    total_events_ += events;
     if (Ok(s)) {
       if (tel.enabled()) {
         uint64_t now = ctx_->TimestampUs();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
@@ -26,6 +27,15 @@ void CollectDevices(const std::vector<TemplateEvent>& events, std::set<uint16_t>
     if (!e.body.empty()) {
       CollectDevices(e.body, out);
     }
+  }
+}
+
+// Bumps a cache counter and mirrors it into telemetry when tracing is armed.
+void CountCache(std::atomic<uint64_t>* plain, const char* metric) {
+  plain->fetch_add(1, std::memory_order_relaxed);
+  Telemetry& t = Telemetry::Get();
+  if (t.enabled()) {
+    t.metrics().counter(metric).Inc();
   }
 }
 
@@ -57,6 +67,7 @@ Status TemplateStore::AddPackage(const DriverletPackage& pkg) {
   }
 
   std::deque<InteractionTemplate>& owned = by_driverlet_[pkg.driverlet];
+  InvalidateCaches(owned);  // old template addresses die with the assign below
   owned.assign(pkg.templates.begin(), pkg.templates.end());
 
   std::set<uint16_t>& devs = devices_[pkg.driverlet];
@@ -211,6 +222,143 @@ Result<const InteractionTemplate*> TemplateStore::Select(
   }
   candidates_scanned_.fetch_add(scanned, std::memory_order_relaxed);
   if (selected == nullptr) {
+    return Status::kNoTemplate;
+  }
+  return selected;
+}
+
+void TemplateStore::InvalidateCaches(const std::deque<InteractionTemplate>& replaced) const {
+  for (const InteractionTemplate& t : replaced) {
+    if (compile_cache_.erase(&t) != 0) {
+      CountCache(&compile_cache_evictions_, "replay.compile_cache.evict");
+    }
+  }
+  // The selection cache holds template pointers from any package; a reload can
+  // also change which candidates a signature resolves to, so drop it whole.
+  for (size_t i = 0; i < select_cache_.size(); ++i) {
+    CountCache(&select_cache_evictions_, "replay.select_cache.evict");
+  }
+  select_cache_.clear();
+}
+
+std::shared_ptr<const CompiledProgram> TemplateStore::ProgramFor(
+    const InteractionTemplate* tpl) const {
+  auto it = compile_cache_.find(tpl);
+  if (it != compile_cache_.end()) {
+    CountCache(&compile_cache_hits_, "replay.compile_cache.hit");
+    return it->second;
+  }
+  CountCache(&compile_cache_misses_, "replay.compile_cache.miss");
+  Result<std::shared_ptr<const CompiledProgram>> prog = CompileTemplate(tpl);
+  // Failed compiles are cached as null: a permanent interpreter-fallback
+  // marker, re-probing would fail identically every invoke.
+  std::shared_ptr<const CompiledProgram> p = prog.ok() ? *prog : nullptr;
+  compile_cache_.emplace(tpl, p);
+  return p;
+}
+
+Result<TemplateStore::CompiledSelection> TemplateStore::SelectCompiled(
+    std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+    std::vector<const InteractionTemplate*>* rejected) const {
+  // Cache key: (driverlet, entry, scalar-name signature). Values are excluded
+  // on purpose — initial constraints gate on them, so they are evaluated per
+  // invoke against the cached candidate list instead.
+  std::string key;
+  key.reserve(driverlet.size() + entry.size() + scalars.size() * 8 + 2);
+  key.append(driverlet);
+  key.push_back('\x1e');
+  key.append(entry);
+  key.push_back('\x1e');
+  for (const auto& [name, value] : scalars) {
+    key.append(name);
+    key.push_back('\x1f');
+  }
+
+  const std::vector<CachedCandidate>* cands = nullptr;
+  auto hit = select_cache_.find(key);
+  if (hit != select_cache_.end()) {
+    CountCache(&select_cache_hits_, "replay.select_cache.hit");
+    hit->second.tick = ++select_cache_tick_;
+    cands = &hit->second.candidates;
+  } else {
+    CountCache(&select_cache_misses_, "replay.select_cache.miss");
+    // Build the param-filtered candidate list the way Select walks the index.
+    const EntrySlot* single = nullptr;
+    const std::vector<const EntrySlot*>* many = nullptr;
+    if (!driverlet.empty()) {
+      single = FindSlot(driverlet, entry);
+      if (single == nullptr) {
+        return Status::kNoTemplate;
+      }
+    } else {
+      auto it = by_entry_.find(entry);
+      if (it == by_entry_.end() || it->second.empty()) {
+        return Status::kNoTemplate;
+      }
+      many = &it->second;
+    }
+    SelectCacheEntry fresh;
+    size_t slot_count = single != nullptr ? 1 : many->size();
+    for (size_t si = 0; si < slot_count; ++si) {
+      const EntrySlot* slot = single != nullptr ? single : (*many)[si];
+      for (const Candidate& c : slot->candidates) {
+        bool have_all = true;
+        for (const std::string& p : c.scalar_params) {
+          if (scalars.find(p) == scalars.end()) {
+            have_all = false;
+            break;
+          }
+        }
+        if (!have_all) {
+          continue;
+        }
+        fresh.candidates.push_back(CachedCandidate{c.tpl, ProgramFor(c.tpl)});
+      }
+    }
+    if (select_cache_.size() >= kSelectCacheCapacity) {
+      auto victim = select_cache_.begin();
+      for (auto it = select_cache_.begin(); it != select_cache_.end(); ++it) {
+        if (it->second.tick < victim->second.tick) {
+          victim = it;
+        }
+      }
+      select_cache_.erase(victim);
+      CountCache(&select_cache_evictions_, "replay.select_cache.evict");
+    }
+    fresh.tick = ++select_cache_tick_;
+    auto [ins, inserted] = select_cache_.emplace(std::move(key), std::move(fresh));
+    cands = &ins->second.candidates;
+  }
+
+  // Per-invoke value gate, same semantics as Select: evaluation errors skip
+  // the candidate, false goes to |rejected|, the first match wins and later
+  // matches only produce the ambiguity warning. The compiled initial check
+  // runs when a program exists; fallback templates use the tree evaluator.
+  CompiledSelection selected;
+  uint64_t scanned = 0;
+  for (const CachedCandidate& c : *cands) {
+    ++scanned;
+    Result<bool> ok = c.program != nullptr ? c.program->EvalInitial(scalars)
+                                           : c.tpl->initial.Eval(scalars);
+    if (!ok.ok()) {
+      continue;  // constraint over non-initial symbols cannot gate selection
+    }
+    if (!*ok) {
+      if (rejected != nullptr) {
+        rejected->push_back(c.tpl);
+      }
+      continue;
+    }
+    if (selected.tpl != nullptr) {
+      DLT_LOG(kWarn) << "template selection ambiguous: " << selected.tpl->name << " vs "
+                     << c.tpl->name;
+      continue;
+    }
+    selected.tpl = c.tpl;
+    selected.program = c.program;
+  }
+  candidates_scanned_.fetch_add(scanned, std::memory_order_relaxed);
+  if (selected.tpl == nullptr) {
     return Status::kNoTemplate;
   }
   return selected;

@@ -11,10 +11,12 @@
 #include <atomic>
 #include <deque>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "src/core/compiled_program.h"
 #include "src/core/interaction_template.h"
 #include "src/core/package.h"
 
@@ -70,6 +72,47 @@ class TemplateStore {
     return candidates_scanned_.load(std::memory_order_relaxed);
   }
 
+  // Compiled selection result: the selected template plus its compiled program.
+  // A null |program| means the template didn't compile (kUnsupported shapes);
+  // callers fall back to the interpreter for that template.
+  struct CompiledSelection {
+    const InteractionTemplate* tpl = nullptr;
+    std::shared_ptr<const CompiledProgram> program;
+  };
+
+  // Select + compile with two caches in front (docs/replay_compiler.md):
+  //  - a per-(driverlet, entry, scalar-name signature) selection cache holding
+  //    the param-filtered candidate list with programs attached, so repeat
+  //    invokes skip the index walk, the param-subset filter and all compile
+  //    lookups. Initial constraints are still evaluated per invoke — selection
+  //    depends on scalar *values*, which are deliberately not part of the key.
+  //  - a per-template compile cache (programs are immutable per load), which
+  //    also remembers failed compiles as interpreter-fallback markers.
+  // Semantics match Select exactly, including rejected reporting, ambiguity
+  // warnings and candidates_scanned accounting.
+  Result<CompiledSelection> SelectCompiled(
+      std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+      std::vector<const InteractionTemplate*>* rejected = nullptr) const;
+
+  // Cache observability (also exported as replay.select_cache.* /
+  // replay.compile_cache.* telemetry counters when tracing is armed).
+  uint64_t select_cache_hits() const { return select_cache_hits_.load(std::memory_order_relaxed); }
+  uint64_t select_cache_misses() const {
+    return select_cache_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t select_cache_evictions() const {
+    return select_cache_evictions_.load(std::memory_order_relaxed);
+  }
+  uint64_t compile_cache_hits() const {
+    return compile_cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t compile_cache_misses() const {
+    return compile_cache_misses_.load(std::memory_order_relaxed);
+  }
+  uint64_t compile_cache_evictions() const {
+    return compile_cache_evictions_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct EntrySlot {
     std::string driverlet;
@@ -77,7 +120,20 @@ class TemplateStore {
     std::vector<Candidate> candidates;
   };
 
+  // One param-filtered candidate with its program attached (selection cache).
+  struct CachedCandidate {
+    const InteractionTemplate* tpl = nullptr;
+    std::shared_ptr<const CompiledProgram> program;
+  };
+  struct SelectCacheEntry {
+    std::vector<CachedCandidate> candidates;
+    uint64_t tick = 0;  // LRU stamp
+  };
+
   const EntrySlot* FindSlot(std::string_view driverlet, std::string_view entry) const;
+  // Compile-cache lookup; remembers failures as null programs.
+  std::shared_ptr<const CompiledProgram> ProgramFor(const InteractionTemplate* tpl) const;
+  void InvalidateCaches(const std::deque<InteractionTemplate>& replaced) const;
 
   // Owning storage; deque gives stable template addresses across AddPackage.
   std::map<std::string, std::deque<InteractionTemplate>, std::less<>> by_driverlet_;
@@ -90,6 +146,20 @@ class TemplateStore {
   std::vector<std::string> load_order_;
 
   mutable std::atomic<uint64_t> candidates_scanned_{0};
+
+  // Compiled-path caches (lazily populated by SelectCompiled, invalidated by
+  // AddPackage). Capacity-bounded LRU on the selection cache.
+  static constexpr size_t kSelectCacheCapacity = 128;
+  mutable std::map<const InteractionTemplate*, std::shared_ptr<const CompiledProgram>>
+      compile_cache_;
+  mutable std::map<std::string, SelectCacheEntry, std::less<>> select_cache_;
+  mutable uint64_t select_cache_tick_ = 0;
+  mutable std::atomic<uint64_t> select_cache_hits_{0};
+  mutable std::atomic<uint64_t> select_cache_misses_{0};
+  mutable std::atomic<uint64_t> select_cache_evictions_{0};
+  mutable std::atomic<uint64_t> compile_cache_hits_{0};
+  mutable std::atomic<uint64_t> compile_cache_misses_{0};
+  mutable std::atomic<uint64_t> compile_cache_evictions_{0};
 };
 
 }  // namespace dlt

@@ -73,6 +73,37 @@ AddressSpace::RamWindow* AddressSpace::RamAt(PhysAddr a, uint64_t size) {
   return nullptr;
 }
 
+uint32_t AddressSpace::MmioCursor::Read() {
+  ++owner_->mmio_accesses_;
+  if (Telemetry::Get().enabled()) {
+    CountMmio(/*write=*/false);
+  }
+  return win_->dev->MmioRead32(off_);
+}
+
+void AddressSpace::MmioCursor::Write(uint32_t v) {
+  ++owner_->mmio_accesses_;
+  if (Telemetry::Get().enabled()) {
+    CountMmio(/*write=*/true);
+  }
+  win_->dev->MmioWrite32(off_, v);
+}
+
+Result<AddressSpace::MmioCursor> AddressSpace::MmioAt(World w, PhysAddr a) {
+  if (tzasc_ != nullptr && !tzasc_->Allows(w, a)) {
+    return Status::kPermissionDenied;
+  }
+  for (auto& win : mmio_) {
+    if (a >= win.base && a < win.base + win.size) {
+      if ((a & 3) != 0) {
+        return Status::kInvalidArg;
+      }
+      return MmioCursor(this, &win, a - win.base);
+    }
+  }
+  return Status::kOutOfRange;
+}
+
 MmioDevice* AddressSpace::DeviceAt(PhysAddr a, uint64_t* offset_out) const {
   for (const auto& w : mmio_) {
     if (a >= w.base && a < w.base + w.size) {

@@ -32,6 +32,18 @@ class BusFaultHook {
 };
 
 class AddressSpace {
+ private:
+  struct RamWindow {
+    PhysAddr base;
+    uint64_t size;
+    std::unique_ptr<uint8_t[]> bytes;
+  };
+  struct MmioWindow {
+    PhysAddr base;
+    uint64_t size;
+    MmioDevice* dev;
+  };
+
  public:
   explicit AddressSpace(Tzasc* tzasc) : tzasc_(tzasc) {}
   AddressSpace(const AddressSpace&) = delete;
@@ -71,21 +83,34 @@ class AddressSpace {
   // Returns the device mapped at |a| (if any) and its register offset.
   MmioDevice* DeviceAt(PhysAddr a, uint64_t* offset_out) const;
 
+  // Resolve-once handle for repeated CPU accesses to one MMIO register (PIO
+  // block transfers): the TZASC check, window walk and alignment check happen
+  // once in MmioAt; each Read/Write still counts as a full MMIO access and is
+  // routed through the window's current device, so fault-injection proxies
+  // interposed on the window keep seeing every word.
+  class MmioCursor {
+   public:
+    uint32_t Read();
+    void Write(uint32_t v);
+
+   private:
+    friend class AddressSpace;
+    MmioCursor(AddressSpace* owner, MmioWindow* win, uint64_t off)
+        : owner_(owner), win_(win), off_(off) {}
+    AddressSpace* owner_;
+    MmioWindow* win_;
+    uint64_t off_;
+  };
+
+  // kPermissionDenied on a TZASC refusal, kInvalidArg on misalignment,
+  // kOutOfRange when no MMIO window covers |a|. The cursor borrows the window
+  // slot; it must not outlive the AddressSpace or span MapMmio calls.
+  Result<MmioCursor> MmioAt(World w, PhysAddr a);
+
   uint64_t mmio_access_count() const { return mmio_accesses_; }
   Tzasc* tzasc() const { return tzasc_; }
 
  private:
-  struct RamWindow {
-    PhysAddr base;
-    uint64_t size;
-    std::unique_ptr<uint8_t[]> bytes;
-  };
-  struct MmioWindow {
-    PhysAddr base;
-    uint64_t size;
-    MmioDevice* dev;
-  };
-
   RamWindow* RamAt(PhysAddr a, uint64_t size);
   bool Overlaps(PhysAddr base, uint64_t size) const;
 

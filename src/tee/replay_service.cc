@@ -32,10 +32,16 @@ Result<std::string> ReplayService::RegisterDriverlet(const DriverletPackage& pkg
     auto replayer =
         std::make_unique<Replayer>(tee_, signing_key_, &store_, pkg.driverlet);
     replayer->set_retry_backoff_us(cfg_.retry_backoff_us);
+    replayer->set_engine(cfg_.use_compiled ? ReplayEngine::kCompiled
+                                           : ReplayEngine::kInterpreter);
     DLT_RETURN_IF_ERROR(replayer->LoadPackage(pkg));
     replayers_.emplace(pkg.driverlet, std::move(replayer));
   } else {
-    // Re-registering a device class replaces its templates only.
+    // Re-registering a device class replaces its templates only; re-apply the
+    // engine in case the config changed between service instances sharing one
+    // replayer map (defensive — the map is per-service today).
+    it->second->set_engine(cfg_.use_compiled ? ReplayEngine::kCompiled
+                                             : ReplayEngine::kInterpreter);
     DLT_RETURN_IF_ERROR(it->second->LoadPackage(pkg));
   }
   Telemetry& tel = Telemetry::Get();

@@ -49,6 +49,10 @@ struct ReplayServiceConfig {
   //     only CloseSession frees the slot. 0 disables quarantine.
   uint64_t retry_backoff_us = 0;
   uint64_t quarantine_threshold = 4;
+  // Execution engine for every registered replayer: compiled programs with
+  // per-template interpreter fallback (default), or the pure interpreter
+  // (differential-testing oracle / ablation baseline).
+  bool use_compiled = true;
 };
 
 // Per-session accounting, aggregated from each invoke's ReplayStats.

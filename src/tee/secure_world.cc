@@ -55,6 +55,54 @@ Status SecureWorld::RegWrite32(uint16_t device, uint64_t offset, uint32_t value)
   return machine_->mem().Write32(World::kSecure, e.base + offset, value);
 }
 
+Status SecureWorld::RegReadBlock32(uint16_t device, uint64_t offset, uint32_t* out,
+                                   size_t words) {
+  if (words == 0) {
+    return Status::kOk;
+  }
+  if (!DeviceMapped(device)) {
+    return Status::kPermissionDenied;
+  }
+  DLT_ASSIGN_OR_RETURN(Machine::DeviceEntry e, machine_->DeviceById(device));
+  if (offset >= e.size) {
+    return Status::kOutOfRange;
+  }
+  Result<AddressSpace::MmioCursor> cur = machine_->mem().MmioAt(World::kSecure, e.base + offset);
+  if (!cur.ok()) {
+    // Register not backed by an MMIO window (test fixtures): keep the exact
+    // per-word base-class semantics.
+    return ReplayContext::RegReadBlock32(device, offset, out, words);
+  }
+  for (size_t i = 0; i < words; ++i) {
+    ChargeNs(machine_->latency().mmio_access_ns);
+    out[i] = cur->Read();
+  }
+  return Status::kOk;
+}
+
+Status SecureWorld::RegWriteBlock32(uint16_t device, uint64_t offset, const uint32_t* values,
+                                    size_t words) {
+  if (words == 0) {
+    return Status::kOk;
+  }
+  if (!DeviceMapped(device)) {
+    return Status::kPermissionDenied;
+  }
+  DLT_ASSIGN_OR_RETURN(Machine::DeviceEntry e, machine_->DeviceById(device));
+  if (offset >= e.size) {
+    return Status::kOutOfRange;
+  }
+  Result<AddressSpace::MmioCursor> cur = machine_->mem().MmioAt(World::kSecure, e.base + offset);
+  if (!cur.ok()) {
+    return ReplayContext::RegWriteBlock32(device, offset, values, words);
+  }
+  for (size_t i = 0; i < words; ++i) {
+    ChargeNs(machine_->latency().mmio_access_ns);
+    cur->Write(values[i]);
+  }
+  return Status::kOk;
+}
+
 Result<uint32_t> SecureWorld::MemRead32(PhysAddr addr) {
   if (!AddressAllowed(addr, 4)) {
     return Status::kPermissionDenied;

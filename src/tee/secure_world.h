@@ -35,6 +35,14 @@ class SecureWorld : public ReplayContext {
   // ---- ReplayContext ----
   Result<uint32_t> RegRead32(uint16_t device, uint64_t offset) override;
   Status RegWrite32(uint16_t device, uint64_t offset, uint32_t value) override;
+  // Block PIO: permission/range checks and the window walk are resolved once,
+  // then each word is charged and routed through the MMIO window individually,
+  // so interposed fault proxies and telemetry see the same per-word access
+  // stream as a loop of RegRead32/RegWrite32 calls.
+  Status RegReadBlock32(uint16_t device, uint64_t offset, uint32_t* out,
+                        size_t words) override;
+  Status RegWriteBlock32(uint16_t device, uint64_t offset, const uint32_t* values,
+                         size_t words) override;
   Result<uint32_t> MemRead32(PhysAddr addr) override;
   Status MemWrite32(PhysAddr addr, uint32_t value) override;
   Status MemCopyIn(PhysAddr dst, const uint8_t* src, size_t len) override;

@@ -7,10 +7,13 @@
 #define SRC_WORKLOAD_DEPLOY_UTIL_H_
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "src/kern/block_layer.h"
 #include "src/tee/replay_service.h"
 #include "src/workload/record_campaigns.h"
 #include "src/workload/rpi3_testbed.h"
@@ -88,6 +91,58 @@ inline std::vector<uint8_t> PatternBuf(size_t len, uint64_t seed) {
   }
   return buf;
 }
+
+// Horizontal rule for bench/tool table output.
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+// In-memory BlockDevice with no timing model; for engine-level tests (MiniDb,
+// page cache) that do not need the simulated machine.
+class MemBlockDevice : public BlockDevice {
+ public:
+  explicit MemBlockDevice(uint64_t sectors) : sectors_(sectors) {}
+
+  Status Read(uint64_t lba, uint32_t count, uint8_t* out) override {
+    if (lba + count > sectors_) {
+      return Status::kOutOfRange;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      auto it = data_.find(lba + i);
+      if (it == data_.end()) {
+        std::memset(out + i * 512, 0, 512);
+      } else {
+        std::memcpy(out + i * 512, it->second.data(), 512);
+      }
+    }
+    ++ops_;
+    return Status::kOk;
+  }
+
+  Status Write(uint64_t lba, uint32_t count, const uint8_t* data) override {
+    if (lba + count > sectors_) {
+      return Status::kOutOfRange;
+    }
+    for (uint32_t i = 0; i < count; ++i) {
+      auto& sector = data_[lba + i];
+      sector.resize(512);
+      std::memcpy(sector.data(), data + i * 512, 512);
+    }
+    ++ops_;
+    return Status::kOk;
+  }
+
+  Status Flush() override { return Status::kOk; }
+  uint64_t io_ops() const override { return ops_; }
+
+ private:
+  uint64_t sectors_;
+  std::map<uint64_t, std::vector<uint8_t>> data_;
+  uint64_t ops_ = 0;
+};
 
 }  // namespace dlt
 

@@ -1,61 +1,9 @@
-// Shared helpers for the test suite. Deployment/package builders and
-// PatternBuf live in src/workload/deploy_util.h, shared with the benches.
+// Compatibility shim: every shared test helper (deployment/package builders,
+// PatternBuf, MemBlockDevice) lives in src/workload/deploy_util.h, shared with
+// the benches and the fault-matrix campaign. Keep this file a pure forward.
 #ifndef TESTS_TEST_UTIL_H_
 #define TESTS_TEST_UTIL_H_
 
-#include <cstring>
-#include <map>
-#include <vector>
-
-#include "src/kern/block_layer.h"
 #include "src/workload/deploy_util.h"
-
-namespace dlt {
-
-// In-memory BlockDevice with no timing model; for engine-level tests (MiniDb,
-// page cache) that do not need the simulated machine.
-class MemBlockDevice : public BlockDevice {
- public:
-  explicit MemBlockDevice(uint64_t sectors) : sectors_(sectors) {}
-
-  Status Read(uint64_t lba, uint32_t count, uint8_t* out) override {
-    if (lba + count > sectors_) {
-      return Status::kOutOfRange;
-    }
-    for (uint32_t i = 0; i < count; ++i) {
-      auto it = data_.find(lba + i);
-      if (it == data_.end()) {
-        std::memset(out + i * 512, 0, 512);
-      } else {
-        std::memcpy(out + i * 512, it->second.data(), 512);
-      }
-    }
-    ++ops_;
-    return Status::kOk;
-  }
-
-  Status Write(uint64_t lba, uint32_t count, const uint8_t* data) override {
-    if (lba + count > sectors_) {
-      return Status::kOutOfRange;
-    }
-    for (uint32_t i = 0; i < count; ++i) {
-      auto& sector = data_[lba + i];
-      sector.resize(512);
-      std::memcpy(sector.data(), data + i * 512, 512);
-    }
-    ++ops_;
-    return Status::kOk;
-  }
-
-  Status Flush() override { return Status::kOk; }
-  uint64_t io_ops() const override { return ops_; }
-
- private:
-  uint64_t sectors_;
-  std::map<uint64_t, std::vector<uint8_t>> data_;
-  uint64_t ops_ = 0;
-};
-
-}  // namespace dlt
 
 #endif  // TESTS_TEST_UTIL_H_
