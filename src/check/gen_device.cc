@@ -1,0 +1,54 @@
+#include "src/check/gen_device.h"
+
+namespace dlt {
+
+GenDevice::GenDevice(SimClock* clock, InterruptController* irq, int line)
+    : clock_(clock), irq_(irq), line_(line) {}
+
+GenDevice::~GenDevice() { CancelPendingRaises(); }
+
+void GenDevice::Configure(GenScript script) {
+  script_ = std::move(script);
+  SoftReset();
+}
+
+uint32_t GenDevice::MmioRead32(uint64_t offset) {
+  auto q = script_.read_queues.find(offset);
+  if (q != script_.read_queues.end()) {
+    size_t& cur = cursors_[offset];
+    if (cur < q->second.size()) {
+      return q->second[cur++];
+    }
+  }
+  auto r = regs_.find(offset);
+  return r != regs_.end() ? r->second : 0;
+}
+
+void GenDevice::MmioWrite32(uint64_t offset, uint32_t value) {
+  if (offset == kDoorbellOff) {
+    pending_raises_.push_back(
+        clock_->ScheduleIn(script_.irq_delay_us, [this] { irq_->Raise(line_); }));
+    return;
+  }
+  if (offset == kIrqAckOff) {
+    irq_->Clear(line_);
+    return;
+  }
+  regs_[offset] = value;
+}
+
+void GenDevice::SoftReset() {
+  CancelPendingRaises();
+  irq_->Clear(line_);
+  cursors_.clear();
+  regs_ = script_.initial_regs;
+}
+
+void GenDevice::CancelPendingRaises() {
+  for (SimClock::EventId id : pending_raises_) {
+    clock_->Cancel(id);
+  }
+  pending_raises_.clear();
+}
+
+}  // namespace dlt

@@ -8,6 +8,17 @@
 namespace dlt {
 
 namespace {
+// Test hook: when armed, constant steps inside compound operands lower with an
+// off-by-one — a planted miscompile the conformance harness must catch, shrink
+// and repro (tests/conformance_test.cc). Immediate and slot operands are left
+// intact so only kSteps-shaped operands misbehave.
+bool g_fold_quirk = false;
+}  // namespace
+
+void SetCompiledFoldQuirkForTest(bool on) { g_fold_quirk = on; }
+bool CompiledFoldQuirkForTest() { return g_fold_quirk; }
+
+namespace {
 
 // Mirror of Expr::Apply (expr.cc): shifts >= 64 yield 0, div/mod by zero is
 // kInvalidArg. Kept in sync so compiled evaluation is bit-identical.
@@ -150,7 +161,8 @@ class Compiler {
     }
     switch (e->op()) {
       case ExprOp::kConst:
-        prog_->steps.push_back(ExprStep{ExprOp::kConst, 0, e->constant()});
+        prog_->steps.push_back(
+            ExprStep{ExprOp::kConst, 0, e->constant() + (g_fold_quirk ? 1 : 0)});
         ++*cur;
         break;
       case ExprOp::kInput:

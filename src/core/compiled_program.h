@@ -187,6 +187,14 @@ class CompiledProgram {
 // kMaxExprStack (the caller keeps the interpreter as fallback).
 Result<std::shared_ptr<const CompiledProgram>> CompileTemplate(const InteractionTemplate* tpl);
 
+// Test hook: arms a deliberate constant-folding miscompile (constants inside
+// compound operands lower off by one). Exists so the conformance harness can
+// prove the cross-engine oracle catches real codegen bugs; never set outside
+// tests. Armed state only affects templates compiled while it is on — caches
+// holding programs compiled earlier are unaffected.
+void SetCompiledFoldQuirkForTest(bool on);
+bool CompiledFoldQuirkForTest();
+
 }  // namespace dlt
 
 #endif  // SRC_CORE_COMPILED_PROGRAM_H_

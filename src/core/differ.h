@@ -37,7 +37,10 @@ struct RegionValidation {
   std::vector<std::string> violations;
 
   bool ok() const {
-    return in_region_same == in_region_total && out_region_diverged == out_region_total;
+    // violations catches failures the counters can't express, e.g. the
+    // reference run itself failing before any probe ran.
+    return violations.empty() && in_region_same == in_region_total &&
+           out_region_diverged == out_region_total;
   }
 };
 

@@ -1,0 +1,49 @@
+// Slow-tier conformance sweep (ctest label "slow"): a wider seed range and a
+// bigger-block generator configuration than the tier-1 fixed corpus. Nightly
+// CI goes wider still via `driverletc check --seeds 500`; this keeps a
+// meaningful sweep inside the test suite where a failure produces a shrunk
+// repro hint instead of just an exit code.
+#include <gtest/gtest.h>
+
+#include "src/check/conformance.h"
+
+namespace dlt {
+namespace {
+
+void ExpectConforms(const GeneratedCase& g) {
+  ConformanceOutcome out = RunConformance(g);
+  if (out.ok()) return;
+  for (const ConformanceFailure& f : out.failures) {
+    ADD_FAILURE() << "seed " << g.seed << " " << f.invariant << ": " << f.detail;
+  }
+  // Hand the developer a minimal reproduction straight from the test log.
+  auto shrunk = Shrink(g, AllInvariants());
+  if (shrunk.ok()) {
+    ADD_FAILURE() << "shrunk repro (" << shrunk->reduced.tpl.events.size()
+                  << " events, fails " << shrunk->invariant << "):\n"
+                  << ReproToString(shrunk->reduced, shrunk->invariant);
+  }
+}
+
+TEST(ConformanceFuzzTest, WideSeedSweepConforms) {
+  for (uint64_t seed = 51; seed <= 150; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ExpectConforms(GenerateCase(seed));
+  }
+}
+
+TEST(ConformanceFuzzTest, LargeTemplatesConform) {
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("large seed " + std::to_string(seed));
+    GenConfig cfg;
+    cfg.seed = 0x5100 + seed;
+    cfg.min_blocks = 8;
+    cfg.max_blocks = 14;
+    GeneratedCase g = GenerateCase(cfg);
+    EXPECT_GE(g.tpl.events.size(), 8u);
+    ExpectConforms(g);
+  }
+}
+
+}  // namespace
+}  // namespace dlt

@@ -8,6 +8,7 @@
 // plane by comparing the byte-stable campaign JSON across engines.
 #include <gtest/gtest.h>
 
+#include "src/check/conformance.h"
 #include "src/core/replayer.h"
 #include "src/obs/telemetry.h"
 #include "src/workload/fault_campaign.h"
@@ -175,6 +176,21 @@ TEST(ReplayCompiledDiffTest, TouchEntryMatchesInterpreter) {
               Record(r, rep->Invoke(kTouchEntry, args));
               r->out_bytes.insert(r->out_bytes.end(), evt.begin(), evt.end());
             });
+}
+
+// The oracle must hold beyond the hand-written gold campaigns: ten seeded
+// generator-backed templates (register traffic, polls, shm word runs, DMA
+// descriptor chains, IRQ waits, random operand expressions) go through the
+// conformance harness's engine-parity invariant, which compares every
+// normal-world observable between interpreter and compiled runs.
+TEST(ReplayCompiledDiffTest, GeneratedTemplatesMatchInterpreter) {
+  for (uint64_t seed = 201; seed <= 210; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ConformanceOutcome out = RunConformance(GenerateCase(seed), {"engine-parity"});
+    for (const ConformanceFailure& f : out.failures) {
+      ADD_FAILURE() << f.invariant << ": " << f.detail;
+    }
+  }
 }
 
 // The equivalence must survive injected faults: the same seeded fault-matrix

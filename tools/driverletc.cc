@@ -25,6 +25,14 @@
 //       seeds) through the recovery policy ladder and prints per-cell recovery
 //       rates. Deterministic: same seeds produce byte-identical JSON. See
 //       docs/fault_injection.md.
+//   driverletc check [--seeds N] [--base-seed S] [--out DIR]
+//       Property-based conformance sweep: generates N seeded templates and
+//       runs every conformance invariant (engine parity, determinism,
+//       serializer round-trip, store coherence, fault-plane parity) against
+//       each. Failures are shrunk to minimal templates and written as repro
+//       files under DIR (default .). See docs/conformance.md.
+//   driverletc check --repro <file>
+//       Re-executes a shrunk repro file through the self-relative invariants.
 //
 // The signing key is fixed (kDeveloperKey) — this mirrors the single developer
 // identity of the paper's threat model; a real deployment would provision keys.
@@ -33,6 +41,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "src/check/conformance.h"
 #include "src/core/compiled_program.h"
 #include "src/core/executor.h"
 #include "src/core/replayer.h"
@@ -55,7 +64,9 @@ int Usage() {
                "       driverletc trace <pkg> -o <trace.json>\n"
                "       driverletc compile <pkg> [--dump]\n"
                "       driverletc faultsweep [--seeds N] [--base-seed S] [--ops K]"
-               " [-o <matrix.json>]\n");
+               " [-o <matrix.json>]\n"
+               "       driverletc check [--seeds N] [--base-seed S] [--out <dir>]\n"
+               "       driverletc check --repro <file>\n");
   return 2;
 }
 
@@ -379,11 +390,95 @@ int CmdFaultSweep(int argc, char** argv) {
   return 0;
 }
 
+// Re-executes a shrunk repro file through the self-relative invariants (no
+// baseline: repro files carry no expected output bytes).
+int CmdCheckRepro(const char* path) {
+  Result<Repro> repro = ReadRepro(path);
+  if (!repro.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", path, StatusName(repro.status()));
+    return 2;
+  }
+  std::printf("repro %s: seed %llu, %zu events, recorded invariant '%s'\n", path,
+              static_cast<unsigned long long>(repro->c.seed), repro->c.tpl.events.size(),
+              repro->invariant.c_str());
+  ConformanceOutcome outcome = RunConformance(repro->c, ReproInvariants());
+  if (outcome.ok()) {
+    std::printf("PASS: all %d invariants hold (the underlying bug is fixed)\n",
+                outcome.invariants_run);
+    return 0;
+  }
+  for (const auto& f : outcome.failures) {
+    std::printf("FAIL %-20s %s\n", f.invariant.c_str(), f.detail.c_str());
+  }
+  return 1;
+}
+
+// Seeded conformance sweep; shrinks failures and writes repro files.
+int CmdCheck(int argc, char** argv) {
+  int num_seeds = 25;
+  uint64_t base_seed = 1;
+  const char* out_dir = ".";
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
+      return CmdCheckRepro(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      num_seeds = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--base-seed") == 0 && i + 1 < argc) {
+      base_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (num_seeds < 1) {
+    return Usage();
+  }
+
+  const std::vector<std::string> invariants = AllInvariants();
+  std::printf("conformance sweep: %d seeds from %llu, %zu invariants each\n", num_seeds,
+              static_cast<unsigned long long>(base_seed), invariants.size());
+  int failures = 0;
+  for (int i = 0; i < num_seeds; ++i) {
+    uint64_t seed = base_seed + static_cast<uint64_t>(i);
+    GeneratedCase g = GenerateCase(seed);
+    ConformanceOutcome outcome = RunConformance(g, invariants);
+    if (outcome.ok()) {
+      continue;
+    }
+    ++failures;
+    for (const auto& f : outcome.failures) {
+      std::printf("seed %llu FAIL %-20s %s\n", static_cast<unsigned long long>(seed),
+                  f.invariant.c_str(), f.detail.c_str());
+    }
+    Result<ShrinkResult> shrunk = Shrink(g, invariants);
+    std::string repro_path =
+        std::string(out_dir) + "/conformance_seed" + std::to_string(seed) + ".repro";
+    if (shrunk.ok()) {
+      std::printf("  shrunk %zu -> %zu events in %d steps (invariant %s)\n",
+                  shrunk->original_events, shrunk->reduced.tpl.events.size(), shrunk->steps,
+                  shrunk->invariant.c_str());
+      if (Ok(WriteRepro(repro_path, shrunk->reduced, shrunk->invariant))) {
+        std::printf("  wrote %s\n", repro_path.c_str());
+      } else {
+        std::fprintf(stderr, "  cannot write %s\n", repro_path.c_str());
+      }
+    } else if (Ok(WriteRepro(repro_path, g, outcome.failures[0].invariant))) {
+      std::printf("  wrote %s (unshrunk)\n", repro_path.c_str());
+    }
+  }
+  std::printf("%d/%d seeds conform\n", num_seeds - failures, num_seeds);
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc >= 2 && std::strcmp(argv[1], "faultsweep") == 0) {
     return CmdFaultSweep(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "check") == 0) {
+    return CmdCheck(argc, argv);
   }
   if (argc < 3) {
     return Usage();
