@@ -13,14 +13,18 @@ namespace dlt {
 
 // Per-kind replay latency histograms, resolved once per kind (registrations
 // are permanent, so the cached pointers stay valid across Telemetry::Reset).
+// Atomic slots: fleet shards replay concurrently, and a racing double-resolve
+// is harmless — histogram(name) is idempotent, both writers store the same
+// pointer.
 Histogram& ReplayKindHistogram(EventKind k) {
-  static std::array<Histogram*, 16> cache{};
+  static std::array<std::atomic<Histogram*>, 16> cache{};
   size_t i = static_cast<size_t>(k);
-  if (cache[i] == nullptr) {
-    cache[i] =
-        &Telemetry::Get().metrics().histogram(std::string("replay.us.") + EventKindName(k));
+  Histogram* h = cache[i].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    h = &Telemetry::Get().metrics().histogram(std::string("replay.us.") + EventKindName(k));
+    cache[i].store(h, std::memory_order_release);
   }
-  return *cache[i];
+  return *h;
 }
 
 std::string DescribeEvent(const TemplateEvent& e) {

@@ -1,6 +1,7 @@
 #include "src/core/template_store.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "src/obs/telemetry.h"
 #include "src/soc/log.h"
@@ -41,6 +42,14 @@ void CountCache(std::atomic<uint64_t>* plain, const char* metric) {
 
 }  // namespace
 
+TemplateStore::TemplateStore() : shared_(std::make_shared<Shared>()) {}
+
+TemplateStore::TemplateStore(std::shared_ptr<Shared> shared) : shared_(std::move(shared)) {}
+
+std::unique_ptr<TemplateStore> TemplateStore::NewShardView() const {
+  return std::unique_ptr<TemplateStore>(new TemplateStore(shared_));
+}
+
 Status TemplateStore::AddPackage(const uint8_t* data, size_t len,
                                  std::string_view signing_key) {
   DLT_ASSIGN_OR_RETURN(DriverletPackage pkg, OpenPackage(data, len, signing_key));
@@ -51,64 +60,90 @@ Status TemplateStore::AddPackage(const DriverletPackage& pkg) {
   if (pkg.driverlet.empty()) {
     return Status::kInvalidArg;
   }
-  // Reloading a driverlet replaces that driverlet only; drop its old slots.
-  if (by_driverlet_.count(pkg.driverlet) != 0) {
-    for (auto it = index_.begin(); it != index_.end();) {
-      if (it->first.first == pkg.driverlet) {
-        auto& slots = by_entry_[it->first.second];
-        slots.erase(std::remove(slots.begin(), slots.end(), &it->second), slots.end());
-        it = index_.erase(it);
-      } else {
-        ++it;
+  std::lock_guard<std::mutex> swap(shared_->swap_mu);
+  const Population* cur = population();
+
+  // Copy-on-write: clone the owning storage, splice the new driverlet in, then
+  // rebuild the derived indexes against the clone's stable addresses.
+  auto next = std::make_unique<Population>();
+  if (cur != nullptr) {
+    next->by_driverlet = cur->by_driverlet;
+    next->load_order = cur->load_order;
+  }
+  if (next->by_driverlet.count(pkg.driverlet) == 0) {
+    next->load_order.push_back(pkg.driverlet);
+  }
+  next->by_driverlet[pkg.driverlet].assign(pkg.templates.begin(), pkg.templates.end());
+
+  for (const std::string& name : next->load_order) {
+    const std::deque<InteractionTemplate>& owned = next->by_driverlet.find(name)->second;
+    std::set<uint16_t>& devs = next->devices[name];
+    for (const InteractionTemplate& t : owned) {
+      devs.insert(t.primary_device);
+      CollectDevices(t.events, &devs);
+
+      auto [it, inserted] = next->index.try_emplace(std::make_pair(name, t.entry));
+      EntrySlot& slot = it->second;
+      if (inserted) {
+        slot.driverlet = name;
+        slot.entry = t.entry;
+        next->by_entry[t.entry].push_back(&slot);
       }
+      Candidate c;
+      c.tpl = &t;
+      c.scalar_params = t.ScalarParams();  // precompiled: never rebuilt per invoke
+      slot.candidates.push_back(std::move(c));
     }
-  } else {
-    load_order_.push_back(pkg.driverlet);
   }
 
-  std::deque<InteractionTemplate>& owned = by_driverlet_[pkg.driverlet];
-  InvalidateCaches(owned);  // old template addresses die with the assign below
-  owned.assign(pkg.templates.begin(), pkg.templates.end());
-
-  std::set<uint16_t>& devs = devices_[pkg.driverlet];
-  devs.clear();
-  for (const InteractionTemplate& t : owned) {
-    devs.insert(t.primary_device);
-    CollectDevices(t.events, &devs);
-
-    auto [it, inserted] = index_.try_emplace(std::make_pair(pkg.driverlet, t.entry));
-    EntrySlot& slot = it->second;
-    if (inserted) {
-      slot.driverlet = pkg.driverlet;
-      slot.entry = t.entry;
-      by_entry_[t.entry].push_back(&slot);
-    }
-    Candidate c;
-    c.tpl = &t;
-    c.scalar_params = t.ScalarParams();  // precompiled: never rebuilt per invoke
-    slot.candidates.push_back(std::move(c));
+  // Publish. Readers that pinned the old population keep using it; it stays
+  // alive in |epochs|. This view's caches flush eagerly, other views notice
+  // the generation change on their next SelectCompiled.
+  shared_->pop.store(next.get(), std::memory_order_release);
+  shared_->epochs.push_back(std::move(next));
+  {
+    std::lock_guard<std::mutex> cache(cache_mu_);
+    FlushCachesLocked();
+    cache_pop_ = population();
   }
   return Status::kOk;
 }
 
 bool TemplateStore::HasDriverlet(std::string_view driverlet) const {
-  return by_driverlet_.find(driverlet) != by_driverlet_.end();
+  const Population* pop = population();
+  return pop != nullptr && pop->by_driverlet.find(driverlet) != pop->by_driverlet.end();
+}
+
+size_t TemplateStore::package_count() const {
+  const Population* pop = population();
+  return pop == nullptr ? 0 : pop->by_driverlet.size();
 }
 
 size_t TemplateStore::template_count() const {
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return 0;
+  }
   size_t n = 0;
-  for (const auto& [name, templates] : by_driverlet_) {
+  for (const auto& [name, templates] : pop->by_driverlet) {
     n += templates.size();
   }
   return n;
 }
 
-std::vector<std::string> TemplateStore::driverlets() const { return load_order_; }
+std::vector<std::string> TemplateStore::driverlets() const {
+  const Population* pop = population();
+  return pop == nullptr ? std::vector<std::string>{} : pop->load_order;
+}
 
 std::vector<const InteractionTemplate*> TemplateStore::templates() const {
   std::vector<const InteractionTemplate*> out;
-  for (const std::string& name : load_order_) {
-    auto it = by_driverlet_.find(name);
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return out;
+  }
+  for (const std::string& name : pop->load_order) {
+    auto it = pop->by_driverlet.find(name);
     for (const InteractionTemplate& t : it->second) {
       out.push_back(&t);
     }
@@ -119,8 +154,12 @@ std::vector<const InteractionTemplate*> TemplateStore::templates() const {
 std::vector<const InteractionTemplate*> TemplateStore::templates(
     std::string_view driverlet) const {
   std::vector<const InteractionTemplate*> out;
-  auto it = by_driverlet_.find(driverlet);
-  if (it == by_driverlet_.end()) {
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return out;
+  }
+  auto it = pop->by_driverlet.find(driverlet);
+  if (it == pop->by_driverlet.end()) {
     return out;
   }
   for (const InteractionTemplate& t : it->second) {
@@ -139,19 +178,24 @@ std::vector<uint16_t> TemplateStore::PackageDevices(const DriverletPackage& pkg)
 }
 
 std::vector<uint16_t> TemplateStore::DevicesOf(std::string_view driverlet) const {
-  auto it = devices_.find(driverlet);
-  if (it == devices_.end()) {
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return {};
+  }
+  auto it = pop->devices.find(driverlet);
+  if (it == pop->devices.end()) {
     return {};
   }
   return std::vector<uint16_t>(it->second.begin(), it->second.end());
 }
 
-const TemplateStore::EntrySlot* TemplateStore::FindSlot(std::string_view driverlet,
-                                                        std::string_view entry) const {
-  // index_ is keyed by std::pair<std::string, std::string>; avoid constructing
+const TemplateStore::EntrySlot* TemplateStore::FindSlot(const Population& pop,
+                                                        std::string_view driverlet,
+                                                        std::string_view entry) {
+  // index is keyed by std::pair<std::string, std::string>; avoid constructing
   // the pair key for the common scoped lookup via the secondary index.
-  auto it = by_entry_.find(entry);
-  if (it == by_entry_.end()) {
+  auto it = pop.by_entry.find(entry);
+  if (it == pop.by_entry.end()) {
     return nullptr;
   }
   for (const EntrySlot* slot : it->second) {
@@ -165,16 +209,20 @@ const TemplateStore::EntrySlot* TemplateStore::FindSlot(std::string_view driverl
 Result<const InteractionTemplate*> TemplateStore::Select(
     std::string_view driverlet, std::string_view entry, const Bindings& scalars,
     std::vector<const InteractionTemplate*>* rejected) const {
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return Status::kNoTemplate;
+  }
   const EntrySlot* single = nullptr;
   const std::vector<const EntrySlot*>* many = nullptr;
   if (!driverlet.empty()) {
-    single = FindSlot(driverlet, entry);
+    single = FindSlot(*pop, driverlet, entry);
     if (single == nullptr) {
       return Status::kNoTemplate;
     }
   } else {
-    auto it = by_entry_.find(entry);
-    if (it == by_entry_.end() || it->second.empty()) {
+    auto it = pop->by_entry.find(entry);
+    if (it == pop->by_entry.end() || it->second.empty()) {
       return Status::kNoTemplate;
     }
     many = &it->second;
@@ -220,21 +268,22 @@ Result<const InteractionTemplate*> TemplateStore::Select(
       selected = c.tpl;
     }
   }
-  candidates_scanned_.fetch_add(scanned, std::memory_order_relaxed);
+  shared_->candidates_scanned.fetch_add(scanned, std::memory_order_relaxed);
   if (selected == nullptr) {
     return Status::kNoTemplate;
   }
   return selected;
 }
 
-void TemplateStore::InvalidateCaches(const std::deque<InteractionTemplate>& replaced) const {
-  for (const InteractionTemplate& t : replaced) {
-    if (compile_cache_.erase(&t) != 0) {
-      CountCache(&compile_cache_evictions_, "replay.compile_cache.evict");
-    }
+void TemplateStore::FlushCachesLocked() const {
+  // A population swap retires every cached template pointer at once: the
+  // copy-on-write rebuild gives all templates fresh addresses, so both caches
+  // drop whole (the old granularity — per-replaced-driverlet compile
+  // eviction — predates sharing).
+  for (size_t i = 0; i < compile_cache_.size(); ++i) {
+    CountCache(&compile_cache_evictions_, "replay.compile_cache.evict");
   }
-  // The selection cache holds template pointers from any package; a reload can
-  // also change which candidates a signature resolves to, so drop it whole.
+  compile_cache_.clear();
   for (size_t i = 0; i < select_cache_.size(); ++i) {
     CountCache(&select_cache_evictions_, "replay.select_cache.evict");
   }
@@ -260,6 +309,19 @@ std::shared_ptr<const CompiledProgram> TemplateStore::ProgramFor(
 Result<TemplateStore::CompiledSelection> TemplateStore::SelectCompiled(
     std::string_view driverlet, std::string_view entry, const Bindings& scalars,
     std::vector<const InteractionTemplate*>* rejected) const {
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return Status::kNoTemplate;
+  }
+  std::lock_guard<std::mutex> cache(cache_mu_);
+  // RCU reader resync: another view republished the population since this
+  // view's caches were built — every cached pointer refers to the retired
+  // snapshot, so start over against the current one.
+  if (cache_pop_ != pop) {
+    FlushCachesLocked();
+    cache_pop_ = pop;
+  }
+
   // Cache key: (driverlet, entry, scalar-name signature). Values are excluded
   // on purpose — initial constraints gate on them, so they are evaluated per
   // invoke against the cached candidate list instead.
@@ -286,13 +348,13 @@ Result<TemplateStore::CompiledSelection> TemplateStore::SelectCompiled(
     const EntrySlot* single = nullptr;
     const std::vector<const EntrySlot*>* many = nullptr;
     if (!driverlet.empty()) {
-      single = FindSlot(driverlet, entry);
+      single = FindSlot(*pop, driverlet, entry);
       if (single == nullptr) {
         return Status::kNoTemplate;
       }
     } else {
-      auto it = by_entry_.find(entry);
-      if (it == by_entry_.end() || it->second.empty()) {
+      auto it = pop->by_entry.find(entry);
+      if (it == pop->by_entry.end() || it->second.empty()) {
         return Status::kNoTemplate;
       }
       many = &it->second;
@@ -357,7 +419,7 @@ Result<TemplateStore::CompiledSelection> TemplateStore::SelectCompiled(
     selected.tpl = c.tpl;
     selected.program = c.program;
   }
-  candidates_scanned_.fetch_add(scanned, std::memory_order_relaxed);
+  shared_->candidates_scanned.fetch_add(scanned, std::memory_order_relaxed);
   if (selected.tpl == nullptr) {
     return Status::kNoTemplate;
   }

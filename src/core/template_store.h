@@ -5,6 +5,22 @@
 // an entry through the index and scans only that entry's candidates — cost is
 // independent of how many other packages/entries are loaded — using per-entry
 // candidate lists whose scalar-param requirements are precompiled at load time.
+//
+// Concurrency model (the multi-shard replay fleet, docs/replay_fleet.md):
+// the post-registration state — packages, the (driverlet, entry) index, the
+// precompiled candidate param lists — is an immutable Population published
+// RCU-style: AddPackage builds a fresh Population and swaps one atomic
+// pointer; readers load the pointer once per call and never take a lock.
+// Retired populations are kept alive for the store's lifetime (registration
+// is rare and populations are small), so template pointers handed out by
+// Select never dangle even across a concurrent package reload.
+//
+// A store created with the default constructor owns its population. Shards of
+// a replay fleet call NewShardView() instead: every view shares the same
+// population (and candidates_scanned aggregate) but keeps its *own* selection
+// and compile caches — the mutable hot-path state — so concurrent shards never
+// contend on a cache lock. A view that observes a population swap lazily
+// flushes its caches on the next SelectCompiled.
 #ifndef SRC_CORE_TEMPLATE_STORE_H_
 #define SRC_CORE_TEMPLATE_STORE_H_
 
@@ -12,6 +28,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -34,15 +51,25 @@ class TemplateStore {
     std::vector<std::string> scalar_params;
   };
 
+  TemplateStore();
+
+  // A facade over the same shared population with fresh per-shard caches.
+  // Packages registered through any view (or the origin) become visible to
+  // all of them; cache counters and cache contents stay per-view. The origin
+  // store must outlive nothing in particular — views keep the shared state
+  // alive on their own.
+  std::unique_ptr<TemplateStore> NewShardView() const;
+
   // Verifies, decompresses and parses a sealed package, then adds it.
   Status AddPackage(const uint8_t* data, size_t len, std::string_view signing_key);
   // Adds (or, for an already-loaded driverlet, atomically replaces) one
   // driverlet's templates. Replacement is per-driverlet only: other loaded
-  // packages are untouched.
+  // packages are untouched. Publishes a new population snapshot; concurrent
+  // readers keep using the one they pinned at call entry.
   Status AddPackage(const DriverletPackage& pkg);
 
   bool HasDriverlet(std::string_view driverlet) const;
-  size_t package_count() const { return by_driverlet_.size(); }
+  size_t package_count() const;
   size_t template_count() const;
   std::vector<std::string> driverlets() const;
 
@@ -67,9 +94,9 @@ class TemplateStore {
 
   // Cumulative number of candidates examined by Select — the mixed-traffic
   // bench divides this by invokes to show selection cost stays flat as the
-  // template population grows.
+  // template population grows. Aggregated across every view of the population.
   uint64_t candidates_scanned() const {
-    return candidates_scanned_.load(std::memory_order_relaxed);
+    return shared_->candidates_scanned.load(std::memory_order_relaxed);
   }
 
   // Compiled selection result: the selected template plus its compiled program.
@@ -89,13 +116,16 @@ class TemplateStore {
   //  - a per-template compile cache (programs are immutable per load), which
   //    also remembers failed compiles as interpreter-fallback markers.
   // Semantics match Select exactly, including rejected reporting, ambiguity
-  // warnings and candidates_scanned accounting.
+  // warnings and candidates_scanned accounting. Both caches belong to this
+  // view only and are guarded by a per-view mutex (uncontended when each
+  // fleet shard drives its own view).
   Result<CompiledSelection> SelectCompiled(
       std::string_view driverlet, std::string_view entry, const Bindings& scalars,
       std::vector<const InteractionTemplate*>* rejected = nullptr) const;
 
   // Cache observability (also exported as replay.select_cache.* /
   // replay.compile_cache.* telemetry counters when tracing is armed).
+  // Per-view: a fleet sums these over its shards.
   uint64_t select_cache_hits() const { return select_cache_hits_.load(std::memory_order_relaxed); }
   uint64_t select_cache_misses() const {
     return select_cache_misses_.load(std::memory_order_relaxed);
@@ -113,11 +143,45 @@ class TemplateStore {
     return compile_cache_evictions_.load(std::memory_order_relaxed);
   }
 
+  // True when |other| reads the same shared population (fleet shard views).
+  bool SharesPopulationWith(const TemplateStore& other) const {
+    return shared_ == other.shared_;
+  }
+
  private:
   struct EntrySlot {
     std::string driverlet;
     std::string entry;
     std::vector<Candidate> candidates;
+  };
+
+  // The frozen post-registration state. Built once per AddPackage, published
+  // via one atomic pointer swap, never mutated afterwards. Slot and template
+  // addresses are stable for the population's lifetime (node-based maps and
+  // deques), and populations live as long as the shared state does.
+  struct Population {
+    // Owning storage; deque gives stable template addresses.
+    std::map<std::string, std::deque<InteractionTemplate>, std::less<>> by_driverlet;
+    // Primary index, keyed (driverlet, entry).
+    std::map<std::pair<std::string, std::string>, EntrySlot> index;
+    // Secondary index for driverlet-agnostic lookup: entry → slots, load order.
+    std::map<std::string, std::vector<const EntrySlot*>, std::less<>> by_entry;
+    // Devices each driverlet's templates touch, collected at load time.
+    std::map<std::string, std::set<uint16_t>, std::less<>> devices;
+    std::vector<std::string> load_order;
+  };
+
+  // State shared by every view of one population.
+  struct Shared {
+    std::mutex swap_mu;  // serializes AddPackage writers
+    // RCU publish pointer; readers load it once per call, lock-free.
+    std::atomic<const Population*> pop{nullptr};
+    // Every population ever published, newest last. Retired snapshots are kept
+    // alive so template pointers pinned by readers (or sitting in per-view
+    // caches that have not resynced yet) never dangle. Registration is rare —
+    // this grows by one small snapshot per AddPackage call.
+    std::vector<std::unique_ptr<const Population>> epochs;
+    std::atomic<uint64_t> candidates_scanned{0};
   };
 
   // One param-filtered candidate with its program attached (selection cache).
@@ -130,26 +194,26 @@ class TemplateStore {
     uint64_t tick = 0;  // LRU stamp
   };
 
-  const EntrySlot* FindSlot(std::string_view driverlet, std::string_view entry) const;
-  // Compile-cache lookup; remembers failures as null programs.
+  explicit TemplateStore(std::shared_ptr<Shared> shared);
+
+  const Population* population() const {
+    return shared_->pop.load(std::memory_order_acquire);
+  }
+  static const EntrySlot* FindSlot(const Population& pop, std::string_view driverlet,
+                                   std::string_view entry);
+  // Compile-cache lookup; remembers failures as null programs. cache_mu_ held.
   std::shared_ptr<const CompiledProgram> ProgramFor(const InteractionTemplate* tpl) const;
-  void InvalidateCaches(const std::deque<InteractionTemplate>& replaced) const;
+  // Drops both caches, counting evictions. cache_mu_ held.
+  void FlushCachesLocked() const;
 
-  // Owning storage; deque gives stable template addresses across AddPackage.
-  std::map<std::string, std::deque<InteractionTemplate>, std::less<>> by_driverlet_;
-  // Primary index, keyed (driverlet, entry).
-  std::map<std::pair<std::string, std::string>, EntrySlot> index_;
-  // Secondary index for driverlet-agnostic lookup: entry → slots, load order.
-  std::map<std::string, std::vector<const EntrySlot*>, std::less<>> by_entry_;
-  // Devices each driverlet's templates touch, collected at load time.
-  std::map<std::string, std::set<uint16_t>, std::less<>> devices_;
-  std::vector<std::string> load_order_;
+  std::shared_ptr<Shared> shared_;
 
-  mutable std::atomic<uint64_t> candidates_scanned_{0};
-
-  // Compiled-path caches (lazily populated by SelectCompiled, invalidated by
-  // AddPackage). Capacity-bounded LRU on the selection cache.
+  // Per-view mutable state: the selection/compile caches and the population
+  // generation they were built against. Guarded by cache_mu_ — uncontended in
+  // the fleet (one shard, one view, one executing thread at a time).
   static constexpr size_t kSelectCacheCapacity = 128;
+  mutable std::mutex cache_mu_;
+  mutable const Population* cache_pop_ = nullptr;
   mutable std::map<const InteractionTemplate*, std::shared_ptr<const CompiledProgram>>
       compile_cache_;
   mutable std::map<std::string, SelectCacheEntry, std::less<>> select_cache_;

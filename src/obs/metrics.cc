@@ -86,6 +86,17 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   return *counters_.back().second;
 }
 
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) {
+      return *g;
+    }
+  }
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
 Histogram& MetricsRegistry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [n, h] : histograms_) {
@@ -102,6 +113,14 @@ void MetricsRegistry::ForEachCounter(
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [n, c] : counters_) {
     fn(n, *c);
+  }
+}
+
+void MetricsRegistry::ForEachGauge(
+    const std::function<void(const std::string&, const Gauge&)>& fn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [n, g] : gauges_) {
+    fn(n, *g);
   }
 }
 
@@ -125,6 +144,16 @@ std::string MetricsRegistry::Summary() const {
       os << c.value() << "\n";
     }
   });
+  os << "gauges: value / max\n";
+  ForEachGauge([&os](const std::string& n, const Gauge& g) {
+    if (g.value() != 0 || g.max() != 0) {
+      os << "  " << n;
+      for (size_t i = n.size(); i < 32; ++i) {
+        os << ' ';
+      }
+      os << g.value() << " / " << g.max() << "\n";
+    }
+  });
   os << "histograms (us): count / mean / p50 / p99 / max\n";
   ForEachHistogram([&os](const std::string& n, const Histogram& h) {
     if (h.count() != 0) {
@@ -143,6 +172,9 @@ void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [n, c] : counters_) {
     c->Reset();
+  }
+  for (auto& [n, g] : gauges_) {
+    g->Reset();
   }
   for (auto& [n, h] : histograms_) {
     h->Reset();

@@ -9,7 +9,14 @@ namespace dlt {
 
 ReplayService::ReplayService(SecureWorld* tee, std::string signing_key,
                              ReplayServiceConfig cfg)
-    : tee_(tee), signing_key_(std::move(signing_key)), cfg_(cfg) {}
+    : ReplayService(tee, std::move(signing_key), cfg, nullptr) {}
+
+ReplayService::ReplayService(SecureWorld* tee, std::string signing_key,
+                             ReplayServiceConfig cfg, std::unique_ptr<TemplateStore> store)
+    : tee_(tee),
+      signing_key_(std::move(signing_key)),
+      cfg_(cfg),
+      store_(store != nullptr ? std::move(store) : std::make_unique<TemplateStore>()) {}
 
 Result<std::string> ReplayService::RegisterDriverlet(const uint8_t* data, size_t len) {
   DLT_ASSIGN_OR_RETURN(DriverletPackage pkg, OpenPackage(data, len, signing_key_));
@@ -30,7 +37,7 @@ Result<std::string> ReplayService::RegisterDriverlet(const DriverletPackage& pkg
   auto it = replayers_.find(pkg.driverlet);
   if (it == replayers_.end()) {
     auto replayer =
-        std::make_unique<Replayer>(tee_, signing_key_, &store_, pkg.driverlet);
+        std::make_unique<Replayer>(tee_, signing_key_, store_.get(), pkg.driverlet);
     replayer->set_retry_backoff_us(cfg_.retry_backoff_us);
     replayer->set_engine(cfg_.use_compiled ? ReplayEngine::kCompiled
                                            : ReplayEngine::kInterpreter);

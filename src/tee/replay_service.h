@@ -76,6 +76,11 @@ struct SessionStats {
 class ReplayService {
  public:
   ReplayService(SecureWorld* tee, std::string signing_key, ReplayServiceConfig cfg = {});
+  // Fleet-shard constructor: the service drives |store| — typically a
+  // TemplateStore::NewShardView() of a population shared across shards —
+  // instead of creating a private one. nullptr falls back to a private store.
+  ReplayService(SecureWorld* tee, std::string signing_key, ReplayServiceConfig cfg,
+                std::unique_ptr<TemplateStore> store);
 
   // Verifies + admission-checks + loads a driverlet package into the shared
   // store, creating the device class's replayer on first registration.
@@ -112,8 +117,8 @@ class ReplayService {
   size_t queue_backlog() const { return queue_.size(); }
   size_t registered_driverlets() const { return replayers_.size(); }
   bool IsRegistered(std::string_view driverlet) const;
-  TemplateStore& store() { return store_; }
-  const TemplateStore& store() const { return store_; }
+  TemplateStore& store() { return *store_; }
+  const TemplateStore& store() const { return *store_; }
   // The device class's replayer (reset policy / retry knobs); nullptr when the
   // driverlet is not registered.
   Replayer* replayer(std::string_view driverlet);
@@ -137,7 +142,7 @@ class ReplayService {
   SecureWorld* tee_;
   std::string signing_key_;
   ReplayServiceConfig cfg_;
-  TemplateStore store_;
+  std::unique_ptr<TemplateStore> store_;
   std::map<std::string, std::unique_ptr<Replayer>, std::less<>> replayers_;
   std::map<SessionId, Session> sessions_;
   std::deque<Pending> queue_;

@@ -193,6 +193,31 @@ TEST(MetricsTest, CounterAccuracy) {
   EXPECT_EQ(0u, c.value());  // cached pointer survives Reset
 }
 
+TEST(MetricsTest, GaugeLevelAndWatermark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("test.queue_depth");
+  g.Add(3);
+  g.Add(2);
+  g.Sub(4);
+  EXPECT_EQ(1, g.value());
+  EXPECT_EQ(5, g.max());  // watermark survives the drain
+  g.Set(2);
+  EXPECT_EQ(2, g.value());
+  EXPECT_EQ(5, g.max());  // Set below the watermark does not lower it
+  // Same name resolves to the same gauge; Reset zeroes value and watermark.
+  EXPECT_EQ(&g, &reg.gauge("test.queue_depth"));
+  reg.Reset();
+  EXPECT_EQ(0, g.value());
+  EXPECT_EQ(0, g.max());
+
+  // Registration order is preserved for exporters.
+  reg.gauge("test.sessions").Set(7);
+  std::vector<std::string> names;
+  reg.ForEachGauge([&](const std::string& n, const Gauge&) { names.push_back(n); });
+  EXPECT_EQ((std::vector<std::string>{"test.queue_depth", "test.sessions"}), names);
+  EXPECT_NE(std::string::npos, reg.Summary().find("test.sessions"));
+}
+
 TEST(MetricsTest, HistogramAccuracy) {
   MetricsRegistry reg;
   Histogram& h = reg.histogram("test.hist");

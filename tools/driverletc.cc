@@ -33,6 +33,13 @@
 //       files under DIR (default .). See docs/conformance.md.
 //   driverletc check --repro <file>
 //       Re-executes a shrunk repro file through the self-relative invariants.
+//   driverletc fleet <pkg...> [--shards N] [--invokes K] [--no-steal]
+//       Stands up a multi-shard replay fleet (one Machine + TEE per shard,
+//       worker thread pool, work-stealing dispatch), registers every package
+//       on every shard, opens one session per package per shard and drives K
+//       invokes through the bounded queues; prints the per-shard dispatch
+//       table and the wall-clock queue-wait distribution. See
+//       docs/replay_fleet.md.
 //
 // The signing key is fixed (kDeveloperKey) — this mirrors the single developer
 // identity of the paper's threat model; a real deployment would provision keys.
@@ -47,6 +54,7 @@
 #include "src/core/replayer.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/telemetry.h"
+#include "src/tee/replay_fleet.h"
 #include "src/workload/fault_campaign.h"
 #include "src/workload/record_campaigns.h"
 #include "src/workload/rpi3_testbed.h"
@@ -66,7 +74,8 @@ int Usage() {
                "       driverletc faultsweep [--seeds N] [--base-seed S] [--ops K]"
                " [-o <matrix.json>]\n"
                "       driverletc check [--seeds N] [--base-seed S] [--out <dir>]\n"
-               "       driverletc check --repro <file>\n");
+               "       driverletc check --repro <file>\n"
+               "       driverletc fleet <pkg...> [--shards N] [--invokes K] [--no-steal]\n");
   return 2;
 }
 
@@ -471,6 +480,159 @@ int CmdCheck(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+// One invoke's worth of covered arguments for a driverlet entry; buffers live
+// in |buf|/|aux| and must outlive the completion. Returns false for entries
+// the fleet driver cannot synthesize load for (touch needs injected events).
+bool FleetArgsFor(const std::string& entry, int round, std::vector<uint8_t>* buf,
+                  std::vector<uint8_t>* aux, ReplayArgs* args) {
+  *args = ReplayArgs{};
+  if (entry == kMmcEntry || entry == kUsbEntry) {
+    buf->assign(8 * 512, static_cast<uint8_t>(0x40 + round));
+    args->scalars = {{"rw", kMmcRwWrite},
+                     {"blkcnt", 8},
+                     {"blkid", 2048 + static_cast<uint64_t>(round % 8) * 8},
+                     {"flag", 0}};
+    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
+    return true;
+  }
+  if (entry == kCameraEntry) {
+    buf->assign(Vc4Firmware::FrameBytes(1440) + 4096, 0);
+    aux->assign(4, 0);
+    args->scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", buf->size()}};
+    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
+    args->buffers["img_size"] = BufferView{aux->data(), aux->size()};
+    return true;
+  }
+  if (entry == kDisplayEntry) {
+    buf->assign(64 * 64 * 4, 0x33);
+    args->scalars = {{"x", 0}, {"y", 0}, {"w", 64}, {"h", 64}};
+    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
+    return true;
+  }
+  return false;
+}
+
+int CmdFleet(int argc, char** argv) {
+  std::vector<const char*> paths;
+  size_t shards = 4;
+  int invokes = 64;
+  bool stealing = true;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--invokes") == 0 && i + 1 < argc) {
+      invokes = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-steal") == 0) {
+      stealing = false;
+    } else {
+      paths.push_back(argv[i]);
+    }
+  }
+  if (paths.empty() || shards == 0 || invokes <= 0) {
+    return Usage();
+  }
+
+  ReplayFleetConfig cfg;
+  cfg.shards = shards;
+  cfg.stealing = stealing;
+  ReplayFleet fleet(kDeveloperKey, cfg);
+  std::vector<std::pair<std::string, std::string>> loaded;  // driverlet, entry
+  for (const char* path : paths) {
+    Result<std::vector<uint8_t>> data = ReadFile(path);
+    if (!data.ok()) {
+      std::fprintf(stderr, "cannot read %s\n", path);
+      return 1;
+    }
+    Result<std::string> name = fleet.RegisterDriverlet(data->data(), data->size());
+    if (!name.ok()) {
+      std::fprintf(stderr, "%s rejected: %s\n", path, StatusName(name.status()));
+      return 1;
+    }
+    auto tpls = fleet.shard_service(0).store().templates(*name);
+    loaded.emplace_back(*name, tpls.front()->entry);
+  }
+  std::printf("fleet: %zu shard(s), %zu worker(s), stealing %s\n", fleet.shard_count(),
+              fleet.thread_count(), stealing ? "on" : "off");
+
+  // One session per package per shard; skip entries we cannot drive.
+  struct Client {
+    FleetSessionId sid;
+    std::string entry;
+    std::vector<uint8_t> buf, aux;
+  };
+  std::vector<Client> clients;
+  for (const auto& [driverlet, entry] : loaded) {
+    ReplayArgs probe;
+    std::vector<uint8_t> b, a;
+    if (!FleetArgsFor(entry, 0, &b, &a, &probe)) {
+      std::printf("  %s: no synthetic load for entry %s, skipping\n", driverlet.c_str(),
+                  entry.c_str());
+      continue;
+    }
+    for (size_t sh = 0; sh < fleet.shard_count(); ++sh) {
+      Result<FleetSessionId> sid = fleet.OpenSessionOn(sh, driverlet);
+      if (!sid.ok()) {
+        std::fprintf(stderr, "session open failed on shard %zu: %s\n", sh,
+                     StatusName(sid.status()));
+        return 1;
+      }
+      clients.push_back(Client{*sid, entry, {}, {}});
+    }
+  }
+  if (clients.empty()) {
+    std::fprintf(stderr, "no drivable sessions\n");
+    return 1;
+  }
+
+  fleet.Start();
+  // Rounds of one outstanding invoke per session: submit across every
+  // session, then collect, so all shards stay busy without deep backlogs.
+  int submitted = 0;
+  int failures = 0;
+  std::vector<uint64_t> reqs(clients.size(), 0);
+  for (int round = 0; submitted < invokes; ++round) {
+    for (size_t c = 0; c < clients.size() && submitted < invokes; ++c) {
+      ReplayArgs args;
+      if (!FleetArgsFor(clients[c].entry, round, &clients[c].buf, &clients[c].aux,
+                        &args)) {
+        continue;
+      }
+      Result<uint64_t> req = fleet.Submit(clients[c].sid, clients[c].entry, args);
+      if (!req.ok()) {
+        ++failures;
+        reqs[c] = 0;
+        continue;
+      }
+      reqs[c] = *req;
+      ++submitted;
+    }
+    for (size_t c = 0; c < clients.size(); ++c) {
+      if (reqs[c] != 0 && !fleet.WaitCompletion(reqs[c]).ok()) {
+        ++failures;
+      }
+      reqs[c] = 0;
+    }
+  }
+  fleet.Stop();
+
+  FleetStats st = fleet.stats();
+  std::printf("\n%d invokes, %d failures\n", submitted, failures);
+  std::printf("shard  executed  stolen  busy-rejects  sessions\n");
+  for (size_t i = 0; i < st.shards.size(); ++i) {
+    const ShardStats& ss = st.shards[i];
+    std::printf("%5zu  %8llu  %6llu  %12llu  %8zu\n", i,
+                static_cast<unsigned long long>(ss.executed),
+                static_cast<unsigned long long>(ss.stolen),
+                static_cast<unsigned long long>(ss.busy_rejects), ss.open_sessions);
+  }
+  const Histogram& qw = fleet.queue_wait_us();
+  std::printf("queue wait (wall-clock us): p50 %llu, p99 %llu, max %llu\n",
+              static_cast<unsigned long long>(qw.Percentile(50)),
+              static_cast<unsigned long long>(qw.Percentile(99)),
+              static_cast<unsigned long long>(qw.max()));
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -500,6 +662,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "compile") == 0) {
     return CmdCompile(argc, argv);
+  }
+  if (std::strcmp(argv[1], "fleet") == 0) {
+    return CmdFleet(argc, argv);
   }
   return Usage();
 }
