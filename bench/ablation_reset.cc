@@ -5,7 +5,7 @@
 // residue state for some request mixes.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace {
 

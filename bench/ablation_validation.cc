@@ -5,7 +5,7 @@
 // recorded transition path; probes outside must not.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/core/differ.h"
 #include "src/core/record_session.h"
 

@@ -12,7 +12,7 @@
 #include <sstream>
 #include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/check/conformance.h"
 #include "src/core/compiled_program.h"
 

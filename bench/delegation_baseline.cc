@@ -5,7 +5,7 @@
 // exposure at zero for a bounded throughput cost.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/workload/delegated_block_device.h"
 #include "src/workload/minidb.h"
 #include "src/workload/replay_block_device.h"

@@ -5,7 +5,7 @@
 // retry efficacy for transient faults.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/workload/replay_block_device.h"
 
 int main() {

@@ -10,7 +10,7 @@
 #include <cstring>
 #include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/workload/fault_campaign.h"
 
 int main(int argc, char** argv) {

@@ -3,7 +3,7 @@
 // (per-script interaction-template invocation breakdown and read:write mix).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/workload/minidb.h"
 #include "src/workload/replay_block_device.h"
 #include "src/workload/sqlite_scripts.h"

@@ -3,7 +3,7 @@
 // driver for bursts of 1/10/100 frames at 720p/1080p/1440p.
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 namespace {

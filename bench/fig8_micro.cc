@@ -4,7 +4,7 @@
 // Uses google-benchmark with manual (simulated) time.
 #include <benchmark/benchmark.h>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/obs/telemetry.h"
 #include "src/workload/sqlite_scripts.h"
 #include "tests/../src/kern/block_layer.h"

@@ -3,7 +3,7 @@
 // the binary form it suggests as future size optimization (our ablation).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace {
 

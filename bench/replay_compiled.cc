@@ -17,7 +17,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/core/compiled_program.h"
 
 namespace dlt {

@@ -27,7 +27,7 @@
 #include <thread>
 #include <vector>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/tee/replay_fleet.h"
 
 namespace dlt {

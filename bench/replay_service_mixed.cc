@@ -11,9 +11,18 @@
 //     block requests through the bounded FIFO queue, half direct. Per-session
 //     stats and the service invoke-latency histogram (virtual time) feed
 //     BENCH_replay_service.json so future PRs have a perf trajectory.
+//  3. Switch amortization (--batch 1,8,64): the same MMC command stream is
+//     driven through the per-session invocation ring at each
+//     commands-per-doorbell size, plus once through plain Invoke (the
+//     pre-ring path). Measures world switches per command, model time per
+//     command and the in-batch queue-wait p50/p99, and self-checks that every
+//     configuration produces digest-identical read-back bytes.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/obs/telemetry.h"
 #include "src/tee/replay_service.h"
 
@@ -22,6 +31,9 @@ namespace {
 
 constexpr int kSelectionInvokes = 200;
 constexpr int kMixedRounds = 120;
+constexpr size_t kAmortCommands = 128;   // divisible by every default batch size
+constexpr size_t kAmortBlocks = 8;       // blocks per command
+constexpr size_t kAmortBytes = kAmortBlocks * 512;
 
 struct BlockClient {
   SessionId session = 0;
@@ -57,23 +69,182 @@ double SelectionPhase(ReplayService* svc, BlockClient* mmc, std::vector<uint8_t>
          kSelectionInvokes;
 }
 
-void PrintHistJson(FILE* f, const char* key, const Histogram& h, const char* suffix) {
+// Histograms are process-global and not copyable; the amortization phase also
+// drives a service, so snapshot the mixed-phase values before it runs.
+struct HistSnap {
+  uint64_t count = 0;
+  double mean = 0;
+  uint64_t p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+HistSnap Snap(const Histogram& h) {
+  return HistSnap{h.count(), h.mean(), h.Percentile(50), h.Percentile(90), h.Percentile(99),
+                  h.max()};
+}
+
+void PrintHistJson(FILE* f, const char* key, const HistSnap& h, const char* suffix) {
   std::fprintf(f,
                "  \"%s\": {\"count\": %llu, \"mean\": %.1f, \"p50\": %llu, "
                "\"p90\": %llu, \"p99\": %llu, \"max\": %llu}%s\n",
-               key, static_cast<unsigned long long>(h.count()), h.mean(),
-               static_cast<unsigned long long>(h.Percentile(50)),
-               static_cast<unsigned long long>(h.Percentile(90)),
-               static_cast<unsigned long long>(h.Percentile(99)),
-               static_cast<unsigned long long>(h.max()), suffix);
+               key, static_cast<unsigned long long>(h.count), h.mean,
+               static_cast<unsigned long long>(h.p50),
+               static_cast<unsigned long long>(h.p90),
+               static_cast<unsigned long long>(h.p99),
+               static_cast<unsigned long long>(h.max), suffix);
+}
+
+// ---- Phase 4: world-switch amortization across commands-per-doorbell ----
+
+// Equal digests <=> byte-identical read-back data across configurations.
+uint64_t Fnv1a(uint64_t h, const uint8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+constexpr uint64_t kFnvSeed = 1469598103934665603ull;
+
+struct AmortResult {
+  bool ring = false;          // ring doorbells vs plain Invoke (pre-ring path)
+  size_t batch = 1;           // commands per doorbell
+  uint64_t failures = 0;
+  uint64_t world_switches = 0;
+  double switches_per_cmd = 0;
+  double us_per_cmd = 0;      // virtual model time per command
+  uint64_t wait_p50 = 0;      // in-batch queue wait (ring.queue_wait_us)
+  uint64_t wait_p99 = 0;
+  uint64_t digest = 0;        // FNV-1a over every read command's buffer
+};
+
+// The fixed stream: command i writes a seeded pattern (even i) or reads the
+// block pair written by command i-1 (odd i), 8 blocks per command. Within one
+// doorbell batch the service executes in push order, so a read always lands
+// after its write.
+ReplayArgs AmortArgs(size_t i, std::vector<uint8_t>* pool) {
+  uint8_t* slice = pool->data() + i * kAmortBytes;
+  bool write = (i % 2) == 0;
+  if (write) {
+    std::vector<uint8_t> pat = PatternBuf(kAmortBytes, 0x1000 + i);
+    std::memcpy(slice, pat.data(), kAmortBytes);
+  } else {
+    std::memset(slice, 0, kAmortBytes);
+  }
+  ReplayArgs args;
+  args.scalars = {{"rw", write ? kMmcRwWrite : kMmcRwRead},
+                  {"blkcnt", kAmortBlocks},
+                  {"blkid", 2048 + (i / 2) * kAmortBlocks},
+                  {"flag", 0}};
+  args.buffers["buf"] = BufferView{slice, kAmortBytes};
+  return args;
+}
+
+AmortResult RunAmortConfig(const std::vector<uint8_t>& mmc_pkg, size_t batch, bool ring) {
+  AmortResult res;
+  res.ring = ring;
+  res.batch = batch;
+  TestbedOptions opts;
+  opts.secure_io = true;
+  opts.probe_drivers = false;
+  Rpi3Testbed tb{opts};
+  ReplayServiceConfig cfg;
+  cfg.ring_depth = kAmortCommands;  // the sweep never backpressures
+  ReplayService svc(&tb.tee(), kDeveloperKey, cfg);
+  if (!svc.RegisterDriverlet(mmc_pkg.data(), mmc_pkg.size()).ok()) {
+    res.failures = kAmortCommands;
+    return res;
+  }
+  Result<SessionId> sid = svc.OpenSession("mmc");
+  if (!sid.ok()) {
+    res.failures = kAmortCommands;
+    return res;
+  }
+  Histogram& wait = Telemetry::Get().metrics().histogram("ring.queue_wait_us");
+  wait.Reset();  // isolate this configuration's in-batch waits
+
+  std::vector<uint8_t> pool(kAmortCommands * kAmortBytes, 0);
+  uint64_t sw0 = tb.tee().world_switches();
+  uint64_t t0 = tb.clock().now_us();
+  size_t done = 0;
+  while (done < kAmortCommands) {
+    size_t n = batch < kAmortCommands - done ? batch : kAmortCommands - done;
+    if (ring) {
+      for (size_t j = 0; j < n; ++j) {
+        if (!svc.RingPush(*sid, kMmcEntry, AmortArgs(done + j, &pool)).ok()) {
+          ++res.failures;
+        }
+      }
+      Result<size_t> ran = svc.RingDoorbell(*sid);
+      if (!ran.ok() || *ran != n) {
+        ++res.failures;
+      }
+      for (size_t j = 0; j < n; ++j) {
+        Result<RingCompletion> c = svc.RingPop(*sid);
+        if (!c.ok() || !c->result.ok()) {
+          ++res.failures;
+        }
+      }
+    } else {
+      // Pre-ring shape: one synchronous Invoke per command.
+      for (size_t j = 0; j < n; ++j) {
+        if (!svc.Invoke(*sid, kMmcEntry, AmortArgs(done + j, &pool)).ok()) {
+          ++res.failures;
+        }
+      }
+    }
+    done += n;
+  }
+  res.world_switches = tb.tee().world_switches() - sw0;
+  res.switches_per_cmd = static_cast<double>(res.world_switches) / kAmortCommands;
+  res.us_per_cmd = static_cast<double>(tb.clock().now_us() - t0) / kAmortCommands;
+  res.wait_p50 = wait.Percentile(50);
+  res.wait_p99 = wait.Percentile(99);
+  res.digest = kFnvSeed;
+  for (size_t i = 1; i < kAmortCommands; i += 2) {
+    res.digest = Fnv1a(res.digest, pool.data() + i * kAmortBytes, kAmortBytes);
+  }
+  return res;
 }
 
 }  // namespace
 }  // namespace dlt
 
-int main() {
+int main(int argc, char** argv) {
   using namespace dlt;
   Telemetry::Get().Enable();  // metrics sourced from src/obs (virtual time)
+
+  // --batch N[,N...] selects the commands-per-doorbell sweep (default 1,8,64).
+  std::vector<size_t> batches = {1, 8, 64};
+  for (int a = 1; a < argc; ++a) {
+    std::string arg = argv[a];
+    std::string list;
+    if (arg == "--batch" && a + 1 < argc) {
+      list = argv[++a];
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      list = arg.substr(8);
+    } else {
+      std::fprintf(stderr, "usage: %s [--batch N[,N...]]\n", argv[0]);
+      return 2;
+    }
+    batches.clear();
+    for (size_t pos = 0; pos < list.size();) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) {
+        comma = list.size();
+      }
+      size_t b = static_cast<size_t>(std::strtoull(list.c_str() + pos, nullptr, 10));
+      if (b == 0 || b > kAmortCommands) {
+        std::fprintf(stderr, "batch sizes must be in [1, %zu]\n", kAmortCommands);
+        return 2;
+      }
+      batches.push_back(b);
+      pos = comma + 1;
+    }
+    if (batches.empty()) {
+      std::fprintf(stderr, "--batch needs at least one size\n");
+      return 2;
+    }
+  }
 
   std::printf("Session-oriented replay service: mixed MMC + USB + camera traffic\n\n");
   std::vector<uint8_t> mmc_pkg = BuildMmcPackage();
@@ -205,6 +376,60 @@ int main() {
     }
   }
 
+  // Snapshot the mixed-phase metrics before the amortization phase drives
+  // more service traffic through the same process-global registry.
+  HistSnap invoke_snap = Snap(m.histogram("service.invoke_us"));
+  HistSnap queue_snap = Snap(m.histogram("service.queue_wait_us"));
+  uint64_t inv_mmc = m.counter("service.invokes.mmc").value();
+  uint64_t inv_usb = m.counter("service.invokes.usb").value();
+  uint64_t inv_cam = m.counter("service.invokes.camera").value();
+
+  // ---- Phase 4: switch amortization sweep ----
+  std::printf("\nswitch amortization (%zu MMC commands, 2 switches per doorbell):\n",
+              kAmortCommands);
+  std::vector<AmortResult> amort;
+  amort.push_back(RunAmortConfig(mmc_pkg, 1, /*ring=*/false));  // pre-ring baseline
+  for (size_t b : batches) {
+    amort.push_back(RunAmortConfig(mmc_pkg, b, /*ring=*/true));
+  }
+  bool digest_match = true;
+  bool amort_ok = true;
+  const AmortResult& direct = amort[0];
+  for (const AmortResult& r : amort) {
+    std::printf("  %-6s batch=%-3zu switches/cmd=%.4f us/cmd=%-9.2f wait p50/p99=%llu/%llu"
+                " digest=%016llx%s\n",
+                r.ring ? "ring" : "direct", r.batch, r.switches_per_cmd, r.us_per_cmd,
+                static_cast<unsigned long long>(r.wait_p50),
+                static_cast<unsigned long long>(r.wait_p99),
+                static_cast<unsigned long long>(r.digest),
+                r.failures != 0 ? " FAILURES" : "");
+    if (r.failures != 0) {
+      std::fprintf(stderr, "amortization: %llu command failures at batch %zu\n",
+                   static_cast<unsigned long long>(r.failures), r.batch);
+      amort_ok = false;
+    }
+    if (r.digest != direct.digest) {
+      digest_match = false;  // batched replay must not change a single byte
+    }
+    // Switch count must amortize exactly: two per doorbell, ceil(M/B) doorbells.
+    uint64_t doorbells = (kAmortCommands + r.batch - 1) / r.batch;
+    if (r.world_switches != 2 * doorbells) {
+      std::fprintf(stderr, "amortization: batch %zu charged %llu switches, expected %llu\n",
+                   r.batch, static_cast<unsigned long long>(r.world_switches),
+                   static_cast<unsigned long long>(2 * doorbells));
+      amort_ok = false;
+    }
+    // Any real batching must beat the unbatched per-command model time.
+    if (r.batch > 1 && r.us_per_cmd >= direct.us_per_cmd) {
+      std::fprintf(stderr, "amortization: batch %zu us/cmd %.2f not below unbatched %.2f\n",
+                   r.batch, r.us_per_cmd, direct.us_per_cmd);
+      amort_ok = false;
+    }
+  }
+  if (!digest_match) {
+    std::fprintf(stderr, "amortization: read-back digests diverge across batch sizes\n");
+  }
+
   // ---- BENCH_replay_service.json: the perf trajectory for future PRs ----
   FILE* f = std::fopen("BENCH_replay_service.json", "w");
   if (f == nullptr) {
@@ -216,18 +441,35 @@ int main() {
   std::fprintf(f, "  \"failures\": %llu,\n",
                static_cast<unsigned long long>(mixed_failures));
   std::fprintf(f, "  \"simulated_seconds\": %.3f,\n", elapsed_s);
-  PrintHistJson(f, "invoke_latency_us", m.histogram("service.invoke_us"), ",");
-  PrintHistJson(f, "queue_wait_us", m.histogram("service.queue_wait_us"), ",");
+  PrintHistJson(f, "invoke_latency_us", invoke_snap, ",");
+  PrintHistJson(f, "queue_wait_us", queue_snap, ",");
   std::fprintf(f, "  \"per_driverlet_invokes\": {\"mmc\": %llu, \"usb\": %llu, \"camera\": %llu},\n",
-               static_cast<unsigned long long>(m.counter("service.invokes.mmc").value()),
-               static_cast<unsigned long long>(m.counter("service.invokes.usb").value()),
-               static_cast<unsigned long long>(m.counter("service.invokes.camera").value()));
+               static_cast<unsigned long long>(inv_mmc),
+               static_cast<unsigned long long>(inv_usb),
+               static_cast<unsigned long long>(inv_cam));
   std::fprintf(f,
                "  \"selection\": {\"templates_small\": %zu, \"scans_per_invoke_small\": %.2f, "
-               "\"templates_large\": %zu, \"scans_per_invoke_large\": %.2f}\n",
+               "\"templates_large\": %zu, \"scans_per_invoke_large\": %.2f},\n",
                pop1, scans1, pop2, scans2);
+  std::fprintf(f, "  \"amortization\": [\n");
+  for (size_t i = 0; i < amort.size(); ++i) {
+    const AmortResult& r = amort[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"batch\": %zu, \"commands\": %zu, "
+                 "\"world_switches\": %llu, \"switches_per_command\": %.4f, "
+                 "\"model_us_per_command\": %.2f, \"ring_wait_p50_us\": %llu, "
+                 "\"ring_wait_p99_us\": %llu, \"digest\": \"%016llx\"}%s\n",
+                 r.ring ? "ring" : "direct", r.batch, kAmortCommands,
+                 static_cast<unsigned long long>(r.world_switches), r.switches_per_cmd,
+                 r.us_per_cmd, static_cast<unsigned long long>(r.wait_p50),
+                 static_cast<unsigned long long>(r.wait_p99),
+                 static_cast<unsigned long long>(r.digest),
+                 i + 1 < amort.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"amortization_digest_match\": %s\n", digest_match ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_replay_service.json\n");
-  return 0;
+  return (digest_match && amort_ok) ? 0 : 1;
 }

@@ -4,7 +4,7 @@
 // input-space coverage report (§4 "How to use").
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 
 int main() {
   using namespace dlt;

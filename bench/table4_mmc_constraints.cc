@@ -4,7 +4,7 @@
 #include <cstdio>
 #include <map>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/dev/mmc/mmc_controller.h"
 
 namespace {

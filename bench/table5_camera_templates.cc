@@ -4,7 +4,7 @@
 // path is resolution-independent (§6.3.2).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 
 int main() {
   using namespace dlt;

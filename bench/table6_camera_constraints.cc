@@ -5,7 +5,7 @@
 // transmission size VC4 later reports).
 #include <cstdio>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 #include "src/dev/vc4/vchiq_proto.h"
 
 int main() {

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <set>
 
-#include "bench/bench_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace {
 

@@ -42,7 +42,9 @@ struct LatencyModel {
   uint64_t usb_sched_per_page_us = 95;  // native USB transfer scheduling per 4 KB page
   uint64_t replay_event_ns = 800;       // replayer interpreter cost per event
   uint64_t driver_cpu_us = 14;          // gold driver per-request CPU time
-  uint64_t world_switch_us = 11;        // SMC world switch (baselines that delegate IO)
+  uint64_t world_switch_us = 11;        // one SMC world-switch crossing; charged by the
+                                        // delegation baseline (2/request) and by the replay
+                                        // service invoke path (2/doorbell batch)
   uint64_t device_reset_us = 800;       // soft reset to clean-slate state
 };
 

@@ -99,7 +99,8 @@ void ReplayFleet::Stop() {
         shard->tel_queue_depth->Sub(1);
         tel_fleet_queue_depth_->Sub(1);
       }
-      CompleteAs(p.id, Result<ReplayStats>(Status::kAborted));
+      CompleteAs(p.id, std::vector<Result<ReplayStats>>(
+                           p.cmds.size(), Result<ReplayStats>(Status::kAborted)));
     }
   }
 }
@@ -151,11 +152,22 @@ Status ReplayFleet::CloseSession(FleetSessionId id) {
 }
 
 Result<uint64_t> ReplayFleet::Submit(FleetSessionId id, std::string entry, ReplayArgs args) {
+  std::vector<RingCmd> one(1);
+  one[0].entry = std::move(entry);
+  one[0].args = std::move(args);
+  return SubmitBatch(id, std::move(one));
+}
+
+Result<uint64_t> ReplayFleet::SubmitBatch(FleetSessionId id, std::vector<RingCmd> cmds) {
+  if (cmds.empty()) {
+    return Status::kInvalidArg;  // an empty doorbell never reaches the fleet
+  }
   size_t shard = FleetShardOf(id);
   if (shard >= shards_.size()) {
     return Status::kNotFound;
   }
   Shard& s = *shards_[shard];
+  const uint64_t n_cmds = cmds.size();
   uint64_t request_id;
   {
     std::lock_guard<std::mutex> lk(s.queue_mu);
@@ -166,13 +178,12 @@ Result<uint64_t> ReplayFleet::Submit(FleetSessionId id, std::string entry, Repla
     Pending p;
     p.id = next_request_.fetch_add(1, std::memory_order_relaxed);
     p.session = FleetLocalSession(id);
-    p.entry = std::move(entry);
-    p.args = std::move(args);
+    p.cmds = std::move(cmds);
     p.submitted = std::chrono::steady_clock::now();
     request_id = p.id;
     s.queue.push_back(std::move(p));
   }
-  s.submitted.fetch_add(1, std::memory_order_relaxed);
+  s.submitted.fetch_add(n_cmds, std::memory_order_relaxed);
   queued_total_.fetch_add(1, std::memory_order_relaxed);
   if (s.tel_queue_depth != nullptr) {
     s.tel_queue_depth->Add(1);
@@ -188,7 +199,23 @@ Result<ReplayStats> ReplayFleet::TakeCompletion(uint64_t request_id) {
   if (it == completions_.end()) {
     return Status::kNotFound;
   }
-  Result<ReplayStats> r = std::move(it->second);
+  if (it->second.size() != 1) {
+    // Batch request: per-command results don't collapse into one. Leave the
+    // completion collectable via TakeBatchCompletion.
+    return Status::kInvalidArg;
+  }
+  Result<ReplayStats> r = std::move(it->second.front());
+  completions_.erase(it);
+  return r;
+}
+
+Result<std::vector<Result<ReplayStats>>> ReplayFleet::TakeBatchCompletion(uint64_t request_id) {
+  std::lock_guard<std::mutex> lk(comp_mu_);
+  auto it = completions_.find(request_id);
+  if (it == completions_.end()) {
+    return Status::kNotFound;
+  }
+  std::vector<Result<ReplayStats>> r = std::move(it->second);
   completions_.erase(it);
   return r;
 }
@@ -197,7 +224,19 @@ Result<ReplayStats> ReplayFleet::WaitCompletion(uint64_t request_id) {
   std::unique_lock<std::mutex> lk(comp_mu_);
   comp_cv_.wait(lk, [&] { return completions_.find(request_id) != completions_.end(); });
   auto it = completions_.find(request_id);
-  Result<ReplayStats> r = std::move(it->second);
+  if (it->second.size() != 1) {
+    return Status::kInvalidArg;  // see TakeCompletion
+  }
+  Result<ReplayStats> r = std::move(it->second.front());
+  completions_.erase(it);
+  return r;
+}
+
+std::vector<Result<ReplayStats>> ReplayFleet::WaitBatchCompletion(uint64_t request_id) {
+  std::unique_lock<std::mutex> lk(comp_mu_);
+  comp_cv_.wait(lk, [&] { return completions_.find(request_id) != completions_.end(); });
+  auto it = completions_.find(request_id);
+  std::vector<Result<ReplayStats>> r = std::move(it->second);
   completions_.erase(it);
   return r;
 }
@@ -351,9 +390,14 @@ void ReplayFleet::Execute(Shard& s, Pending p, bool as_thief) {
   auto wait = start - p.submitted;
   queue_wait_us_.Record(static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(wait).count()));
-  Result<ReplayStats> r = s.service->Invoke(p.session, p.entry, p.args);
+  const uint64_t n = p.cmds.size();
+  // The whole batch runs as one InvokeBatch under this continuous exec_mu
+  // hold: two world switches total, and no other worker can interleave
+  // commands into the batch.
+  std::vector<Result<ReplayStats>> r = s.service->InvokeBatch(p.session, p.cmds.data(),
+                                                              p.cmds.size());
   if (cfg_.invoke_floor_us != 0) {
-    auto floor = std::chrono::microseconds(cfg_.invoke_floor_us);
+    auto floor = std::chrono::microseconds(cfg_.invoke_floor_us * n);
     auto elapsed = std::chrono::steady_clock::now() - start;
     if (elapsed < floor) {
       // Device-latency pacing: hold the shard busy for the rest of the floor,
@@ -361,12 +405,12 @@ void ReplayFleet::Execute(Shard& s, Pending p, bool as_thief) {
       std::this_thread::sleep_for(floor - elapsed);
     }
   }
-  s.executed.fetch_add(1, std::memory_order_relaxed);
+  s.executed.fetch_add(n, std::memory_order_relaxed);
   if (s.tel_executed != nullptr) {
-    s.tel_executed->Inc();
+    s.tel_executed->Inc(n);
   }
   if (as_thief) {
-    s.stolen.fetch_add(1, std::memory_order_relaxed);
+    s.stolen.fetch_add(n, std::memory_order_relaxed);
     if (s.tel_steals != nullptr) {
       s.tel_steals->Inc();
       tel_fleet_steals_->Inc();
@@ -375,7 +419,7 @@ void ReplayFleet::Execute(Shard& s, Pending p, bool as_thief) {
   CompleteAs(p.id, std::move(r));
 }
 
-void ReplayFleet::CompleteAs(uint64_t request_id, Result<ReplayStats> r) {
+void ReplayFleet::CompleteAs(uint64_t request_id, std::vector<Result<ReplayStats>> r) {
   {
     std::lock_guard<std::mutex> lk(comp_mu_);
     completions_.emplace(request_id, std::move(r));

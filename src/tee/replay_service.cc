@@ -116,8 +116,8 @@ static bool IsDeviceHealthFailure(Status s) {
          s == Status::kIoError;
 }
 
-Result<ReplayStats> ReplayService::DoInvoke(Session& s, std::string_view entry,
-                                            const ReplayArgs& args) {
+Result<ReplayStats> ReplayService::DoInvokeOne(Session& s, std::string_view entry,
+                                               const ReplayArgs& args) {
   Replayer* rep = replayer(s.driverlet);
   if (rep == nullptr) {
     return Status::kBadState;  // registration cannot be revoked; defensive
@@ -166,13 +166,55 @@ Result<ReplayStats> ReplayService::DoInvoke(Session& s, std::string_view entry,
   return r;
 }
 
+void ReplayService::DoInvokeBatch(BatchItem* items, size_t n) {
+  if (n == 0) {
+    return;  // nothing pending: the SMC boundary is not crossed at all
+  }
+  Telemetry& tel = Telemetry::Get();
+  tee_->WorldSwitch("smc_invoke", 0);
+  uint64_t batch_t0 = tee_->TimestampUs();
+  for (size_t i = 0; i < n; ++i) {
+    if (tel.enabled()) {
+      // In-batch queue wait: how long this command sat behind its batch
+      // siblings after the doorbell (virtual time). Grows with batch size —
+      // the latency cost that buys the switch amortization.
+      tel.metrics().histogram("ring.queue_wait_us").Record(tee_->TimestampUs() - batch_t0);
+    }
+    if (items[i].session == nullptr) {
+      *items[i].out = Status::kNotFound;  // session closed before the drain
+    } else {
+      *items[i].out = DoInvokeOne(*items[i].session, items[i].entry, *items[i].args);
+    }
+  }
+  tee_->WorldSwitch("smc_return", 1);
+}
+
 Result<ReplayStats> ReplayService::Invoke(SessionId id, std::string_view entry,
                                           const ReplayArgs& args) {
   auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     return Status::kNotFound;
   }
-  return DoInvoke(it->second, entry, args);
+  Result<ReplayStats> out{Status::kBadState};
+  BatchItem item{&it->second, entry, &args, &out};
+  DoInvokeBatch(&item, 1);
+  return out;
+}
+
+std::vector<Result<ReplayStats>> ReplayService::InvokeBatch(SessionId id, const RingCmd* cmds,
+                                                            size_t n) {
+  std::vector<Result<ReplayStats>> out(n, Result<ReplayStats>(Status::kBadState));
+  if (n == 0) {
+    return out;
+  }
+  auto it = sessions_.find(id);
+  Session* s = it == sessions_.end() ? nullptr : &it->second;
+  std::vector<BatchItem> items(n);
+  for (size_t i = 0; i < n; ++i) {
+    items[i] = BatchItem{s, cmds[i].entry, &cmds[i].args, &out[i]};
+  }
+  DoInvokeBatch(items.data(), n);
+  return out;
 }
 
 Result<uint64_t> ReplayService::Submit(SessionId id, std::string entry, ReplayArgs args) {
@@ -207,23 +249,127 @@ Result<uint64_t> ReplayService::Submit(SessionId id, std::string entry, ReplayAr
 
 size_t ReplayService::ProcessQueued(size_t max_requests) {
   Telemetry& tel = Telemetry::Get();
-  size_t processed = 0;
-  while (processed < max_requests && !queue_.empty()) {
-    Pending p = std::move(queue_.front());
+  // Pop the whole drain up front, then execute it as ONE batch — the FIFO
+  // path pays two world switches per drain, not per request. queue_wait_us
+  // measures submit → drain start; the in-batch wait behind earlier commands
+  // of the same drain lands in ring.queue_wait_us (recorded by the batch).
+  std::vector<Pending> drain;
+  while (drain.size() < max_requests && !queue_.empty()) {
+    drain.push_back(std::move(queue_.front()));
     queue_.pop_front();
+  }
+  if (drain.empty()) {
+    return 0;
+  }
+  std::vector<Result<ReplayStats>> results(drain.size(),
+                                           Result<ReplayStats>(Status::kBadState));
+  std::vector<BatchItem> items(drain.size());
+  for (size_t i = 0; i < drain.size(); ++i) {
     if (tel.enabled()) {
       tel.metrics().histogram("service.queue_wait_us").Record(tee_->TimestampUs() -
-                                                              p.submit_us);
+                                                              drain[i].submit_us);
     }
-    auto it = sessions_.find(p.session);
-    if (it == sessions_.end()) {
-      completions_.emplace(p.id, Result<ReplayStats>(Status::kNotFound));
-    } else {
-      completions_.emplace(p.id, DoInvoke(it->second, p.entry, p.args));
-    }
-    ++processed;
+    auto it = sessions_.find(drain[i].session);
+    items[i] = BatchItem{it == sessions_.end() ? nullptr : &it->second, drain[i].entry,
+                         &drain[i].args, &results[i]};
   }
-  return processed;
+  DoInvokeBatch(items.data(), items.size());
+  for (size_t i = 0; i < drain.size(); ++i) {
+    completions_.emplace(drain[i].id, std::move(results[i]));
+  }
+  return drain.size();
+}
+
+Result<InvocationRing*> ReplayService::Ring(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  if (it->second.ring == nullptr) {
+    it->second.ring = std::make_unique<InvocationRing>(cfg_.ring_depth);
+  }
+  return it->second.ring.get();
+}
+
+Result<uint64_t> ReplayService::RingPush(SessionId id, std::string entry, ReplayArgs args) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  Telemetry& tel = Telemetry::Get();
+  if (it->second.stats.quarantined) {
+    if (tel.enabled()) {
+      tel.metrics().counter("service.quarantine_rejects").Inc();
+    }
+    return Status::kQuarantined;  // fail fast instead of occupying a slot
+  }
+  if (it->second.ring == nullptr) {
+    it->second.ring = std::make_unique<InvocationRing>(cfg_.ring_depth);
+  }
+  Result<uint64_t> seq = it->second.ring->Push(std::move(entry), std::move(args));
+  if (seq.ok()) {
+    ++it->second.stats.submitted;
+    if (tel.enabled()) {
+      tel.metrics().gauge("ring.sq_depth").Set(it->second.ring->submission_depth());
+    }
+  } else if (tel.enabled()) {
+    tel.metrics().counter("ring.full_rejects").Inc();
+  }
+  return seq;
+}
+
+Result<size_t> ReplayService::RingDoorbell(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  Session& s = it->second;
+  if (s.ring == nullptr) {
+    return size_t{0};
+  }
+  InvocationRing& ring = *s.ring;
+  const uint64_t begin = ring.drain_begin();
+  const uint64_t end = ring.drain_end();
+  const size_t n = static_cast<size_t>(end - begin);
+  Telemetry& tel = Telemetry::Get();
+  if (tel.enabled()) {
+    tel.metrics().counter("ring.doorbells").Inc();
+    tel.metrics().histogram("ring.batch_size").Record(n);
+  }
+  if (n == 0) {
+    return size_t{0};  // empty doorbell: no switch charged, nothing to do
+  }
+  std::vector<BatchItem> items;
+  items.reserve(n);
+  for (uint64_t seq = begin; seq != end; ++seq) {
+    RingCmd& c = ring.command(seq);
+    items.push_back(BatchItem{&s, c.entry, &c.args, &ring.result_slot(seq)});
+  }
+  DoInvokeBatch(items.data(), items.size());
+  ring.FinishDrain(end);
+  if (tel.enabled()) {
+    tel.metrics().gauge("ring.sq_depth").Set(ring.submission_depth());
+    tel.metrics().gauge("ring.cq_depth").Set(ring.completion_depth());
+  }
+  return n;
+}
+
+Result<RingCompletion> ReplayService::RingPop(SessionId id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  if (it->second.ring == nullptr) {
+    return Status::kNotFound;
+  }
+  Result<RingCompletion> c = it->second.ring->PopCompletion();
+  if (c.ok()) {
+    Telemetry& tel = Telemetry::Get();
+    if (tel.enabled()) {
+      tel.metrics().gauge("ring.cq_depth").Set(it->second.ring->completion_depth());
+    }
+  }
+  return c;
 }
 
 Result<ReplayStats> ReplayService::TakeCompletion(uint64_t request_id) {

@@ -19,6 +19,14 @@
 // serializes execution, as the paper's replayer does); completions are picked
 // up by request id. Buffer views inside queued ReplayArgs are borrowed — the
 // caller keeps them alive until the completion is taken.
+//
+// World-switch cost model: every invocation crosses the SMC boundary twice
+// (doorbell in, completion reap out), charged via SecureWorld::WorldSwitch.
+// The charge is per *batch*, not per command — the per-session InvocationRing
+// lets a client amortize the two switches over a whole vector of commands
+// (RingPush × N + one RingDoorbell), while Invoke / Submit are thin wrappers
+// over a batch of 1. All three paths funnel into one DoInvokeBatch, so stats,
+// quarantine and fault-ladder logic exist exactly once.
 #ifndef SRC_TEE_REPLAY_SERVICE_H_
 #define SRC_TEE_REPLAY_SERVICE_H_
 
@@ -26,9 +34,11 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "src/core/replayer.h"
 #include "src/core/template_store.h"
+#include "src/tee/invocation_ring.h"
 #include "src/tee/secure_world.h"
 
 namespace dlt {
@@ -38,6 +48,7 @@ using SessionId = uint64_t;
 struct ReplayServiceConfig {
   size_t max_sessions = 16;
   size_t queue_depth = 32;  // bounded FIFO across all sessions
+  size_t ring_depth = 32;   // per-session invocation ring slots
   // Recovery policy ladder (docs/fault_injection.md). Each registered
   // replayer already retries with soft reset; these knobs add the service
   // rungs above it:
@@ -63,7 +74,7 @@ struct SessionStats {
   uint64_t events_executed = 0;
   uint64_t resets = 0;
   uint64_t attempts = 0;          // execution attempts incl. divergence retries
-  uint64_t submitted = 0;         // requests admitted into the FIFO
+  uint64_t submitted = 0;         // requests admitted (FIFO Submit + RingPush)
   std::map<std::string, uint64_t> per_template;  // completed, by template name
   uint64_t opened_us = 0;
   uint64_t last_invoke_us = 0;
@@ -94,20 +105,41 @@ class ReplayService {
   Result<SessionId> OpenSession(std::string_view driverlet);
   Status CloseSession(SessionId id);
 
-  // Synchronous invoke on an open session. The entry must belong to the
-  // session's driverlet (scoped selection).
+  // Synchronous invoke on an open session: a batch of 1 (two world switches).
+  // The entry must belong to the session's driverlet (scoped selection).
   Result<ReplayStats> Invoke(SessionId id, std::string_view entry, const ReplayArgs& args);
+
+  // Executes |n| commands as one batch against one session — two world
+  // switches total — returning per-command results positionally. This is the
+  // transport ReplayFleet uses to dispatch whole ring batches to a shard.
+  std::vector<Result<ReplayStats>> InvokeBatch(SessionId id, const RingCmd* cmds, size_t n);
 
   // ---- Bounded FIFO request queue ----
   // Enqueues a request; kBusy when the queue is full. Returns the request id.
   Result<uint64_t> Submit(SessionId id, std::string entry, ReplayArgs args);
-  // Executes up to |max_requests| queued requests in FIFO order; requests of
-  // sessions closed after submission complete as kNotFound. Returns how many
-  // were processed.
+  // Executes up to |max_requests| queued requests in FIFO order *as one
+  // batch* (two world switches for the whole drain); requests of sessions
+  // closed after submission complete as kNotFound. Returns how many ran.
   size_t ProcessQueued(size_t max_requests = SIZE_MAX);
   // Takes the completion for a processed request. kNotFound while the request
   // is still queued or the id is unknown; each completion is taken once.
   Result<ReplayStats> TakeCompletion(uint64_t request_id);
+
+  // ---- Per-session invocation ring (batched submit/reap) ----
+  // The session's ring, created lazily (depth = ReplayServiceConfig::
+  // ring_depth). Descriptors pushed here cost no virtual time — the ring is
+  // normal-world shared memory; the SMC boundary is crossed only by the
+  // doorbell. kNotFound for an unknown session.
+  Result<InvocationRing*> Ring(SessionId id);
+  // Push one descriptor into the session's ring. kBusy when the ring is full
+  // (reap completions to free slots); kQuarantined fails fast like Submit.
+  Result<uint64_t> RingPush(SessionId id, std::string entry, ReplayArgs args);
+  // Doorbell: drains every pending descriptor as ONE batch under two world
+  // switches; per-command results land in the completion ring. Returns how
+  // many commands ran — 0 for an empty ring, which charges no switch.
+  Result<size_t> RingDoorbell(SessionId id);
+  // Reaps the oldest completion in push order; kNotFound while none pending.
+  Result<RingCompletion> RingPop(SessionId id);
 
   // ---- Introspection ----
   Result<SessionStats> Stats(SessionId id) const;
@@ -128,6 +160,7 @@ class ReplayService {
   struct Session {
     std::string driverlet;
     SessionStats stats;
+    std::unique_ptr<InvocationRing> ring;  // lazily created by Ring()
   };
   struct Pending {
     uint64_t id = 0;
@@ -136,8 +169,22 @@ class ReplayService {
     ReplayArgs args;   // buffer views borrowed from the submitter
     uint64_t submit_us = 0;
   };
+  // One command of a batch, resolved to its execution inputs/output. A null
+  // session means the session closed between submit and drain — the command
+  // completes as kNotFound without touching the device.
+  struct BatchItem {
+    Session* session = nullptr;
+    std::string_view entry;
+    const ReplayArgs* args = nullptr;
+    Result<ReplayStats>* out = nullptr;
+  };
 
-  Result<ReplayStats> DoInvoke(Session& s, std::string_view entry, const ReplayArgs& args);
+  // THE execution path: charges the two world switches around a non-empty
+  // batch and runs each command through DoInvokeOne. Invoke, ProcessQueued,
+  // InvokeBatch and RingDoorbell all funnel here.
+  void DoInvokeBatch(BatchItem* items, size_t n);
+  // Per-command core: quarantine ladder, replayer invoke, per-session stats.
+  Result<ReplayStats> DoInvokeOne(Session& s, std::string_view entry, const ReplayArgs& args);
 
   SecureWorld* tee_;
   std::string signing_key_;

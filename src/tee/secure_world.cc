@@ -145,6 +145,16 @@ Result<uint32_t> SecureWorld::RandomU32() {
 
 uint64_t SecureWorld::TimestampUs() { return machine_->clock().now_us(); }
 
+void SecureWorld::WorldSwitch(std::string_view label, uint64_t direction) {
+  machine_->clock().Advance(machine_->latency().world_switch_us);
+  ++world_switches_;
+  Telemetry& t = Telemetry::Get();
+  if (t.enabled()) {
+    t.metrics().counter("tee.world_switches").Inc();
+    t.Instant(TraceKind::kWorldSwitch, machine_->clock().now_us(), label, direction);
+  }
+}
+
 Status SecureWorld::WaitForIrq(int line, uint64_t timeout_us) {
   SimClock& clock = machine_->clock();
   uint64_t t0 = clock.now_us();

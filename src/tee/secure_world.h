@@ -32,6 +32,15 @@ class SecureWorld : public ReplayContext {
   CmaPool& pool() { return pool_; }
   Machine* machine() { return machine_; }
 
+  // Charges one SMC boundary crossing (latency_model.h:world_switch_us) to the
+  // virtual clock, bumps the local crossing counter, and — when telemetry is
+  // armed — the `tee.world_switches` counter plus a kWorldSwitch trace
+  // instant. |direction| is 0 for normal→secure entry, 1 for the return.
+  void WorldSwitch(std::string_view label, uint64_t direction);
+  // Total crossings charged through this SecureWorld (always counted, so
+  // benches and tests can assert amortization without arming telemetry).
+  uint64_t world_switches() const { return world_switches_; }
+
   // ---- ReplayContext ----
   Result<uint32_t> RegRead32(uint16_t device, uint64_t offset) override;
   Status RegWrite32(uint16_t device, uint64_t offset, uint32_t value) override;
@@ -65,6 +74,7 @@ class SecureWorld : public ReplayContext {
   std::set<uint16_t> mapped_;
   uint64_t rng_state_;
   uint64_t ns_accum_ = 0;
+  uint64_t world_switches_ = 0;
 };
 
 // Base class for trustlets: small in-TEE programs that consume driverlets.

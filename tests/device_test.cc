@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "src/workload/rpi3_testbed.h"
-#include "tests/test_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 namespace {

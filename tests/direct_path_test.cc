@@ -8,7 +8,7 @@
 #include "src/core/replayer.h"
 #include "src/workload/record_campaigns.h"
 #include "src/workload/rpi3_testbed.h"
-#include "tests/test_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 namespace {

@@ -8,7 +8,7 @@
 #include "src/dev/mmc/mmc_controller.h"
 #include "src/fault/fault_injector.h"
 #include "src/workload/fault_campaign.h"
-#include "tests/test_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 namespace {

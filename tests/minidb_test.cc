@@ -4,7 +4,7 @@
 #include "src/workload/minidb.h"
 #include "src/workload/rpi3_testbed.h"
 #include "src/workload/sqlite_scripts.h"
-#include "tests/test_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 namespace {

@@ -8,7 +8,7 @@
 #include "src/core/serialize_binary.h"
 #include "src/core/serialize_text.h"
 #include "src/workload/record_campaigns.h"
-#include "tests/test_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 namespace {

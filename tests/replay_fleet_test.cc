@@ -160,6 +160,11 @@ TEST_F(ReplayFleetTest, StealingDrainsSkewedLoad) {
   cfg.threads = 2;
   cfg.queue_depth = 256;
   cfg.stealing = true;
+  // Pace executions in wall time so a backlog exists regardless of host
+  // scheduling: while worker 0 sleeps through shard 0's pacing floor, shard
+  // 2's queue is guaranteed non-empty and its exec_mu free, so worker 1 (no
+  // loaded home shard) reliably steals instead of racing an instant drain.
+  cfg.invoke_floor_us = 200;
   ReplayFleet fleet(kDeveloperKey, cfg);
   ASSERT_TRUE(fleet.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
   Result<FleetSessionId> s0 = fleet.OpenSessionOn(0, "mmc");
@@ -343,6 +348,69 @@ TEST_F(ReplayFleetTest, StopCompletesQueuedWorkAsAborted) {
     EXPECT_EQ(reqs.size(), executed + aborted);
     EXPECT_EQ(fleet.stats().executed, executed);
   }
+}
+
+TEST_F(ReplayFleetTest, BatchDispatchesAsOneUnit) {
+  ReplayFleetConfig cfg;
+  cfg.shards = 2;
+  cfg.queue_depth = 2;
+  ReplayFleet fleet(kDeveloperKey, cfg);
+  ASSERT_TRUE(fleet.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<FleetSessionId> sid = fleet.OpenSessionOn(0, "mmc");
+  ASSERT_TRUE(sid.ok());
+
+  // A 4-command batch occupies ONE queue slot and drains as ONE dispatch
+  // unit, but the command-level counters still see all 4.
+  std::vector<std::vector<uint8_t>> bufs(4, std::vector<uint8_t>(512, 0x33));
+  std::vector<RingCmd> cmds;
+  for (size_t i = 0; i < bufs.size(); ++i) {
+    cmds.push_back(RingCmd{kMmcEntry, BlockArgs(kMmcRwWrite, 1, 96 + i * 8, &bufs[i])});
+  }
+  EXPECT_EQ(Status::kInvalidArg, fleet.SubmitBatch(*sid, {}).status());
+  Result<uint64_t> req = fleet.SubmitBatch(*sid, std::move(cmds));
+  ASSERT_TRUE(req.ok());
+  FleetStats st = fleet.stats();
+  EXPECT_EQ(4u, st.shards[0].submitted);   // commands
+  EXPECT_EQ(1u, st.shards[0].queue_depth);  // dispatch units
+
+  EXPECT_EQ(1u, fleet.ProcessQueuedInline());  // one unit drained
+  // The scalar accessor refuses to flatten a real batch; the batch accessor
+  // hands back all four results in submission order.
+  EXPECT_EQ(Status::kInvalidArg, fleet.TakeCompletion(*req).status());
+  Result<std::vector<Result<ReplayStats>>> all = fleet.TakeBatchCompletion(*req);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(4u, all->size());
+  for (const Result<ReplayStats>& r : *all) {
+    EXPECT_TRUE(r.ok());
+  }
+  EXPECT_EQ(Status::kNotFound, fleet.TakeBatchCompletion(*req).status());
+  EXPECT_EQ(4u, fleet.stats().shards[0].executed);
+}
+
+TEST_F(ReplayFleetTest, BatchCompletionUnderRunningPool) {
+  ReplayFleetConfig cfg;
+  cfg.shards = 2;
+  cfg.threads = 2;
+  ReplayFleet fleet(kDeveloperKey, cfg);
+  ASSERT_TRUE(fleet.RegisterDriverlet(mmc_->data(), mmc_->size()).ok());
+  Result<FleetSessionId> sid = fleet.OpenSessionOn(0, "mmc");
+  ASSERT_TRUE(sid.ok());
+  fleet.Start();
+
+  std::vector<std::vector<uint8_t>> bufs(6, std::vector<uint8_t>(512, 0x44));
+  std::vector<RingCmd> cmds;
+  for (size_t i = 0; i < bufs.size(); ++i) {
+    cmds.push_back(RingCmd{kMmcEntry, BlockArgs(kMmcRwWrite, 1, 256 + i * 8, &bufs[i])});
+  }
+  Result<uint64_t> req = fleet.SubmitBatch(*sid, std::move(cmds));
+  ASSERT_TRUE(req.ok());
+  std::vector<Result<ReplayStats>> all = fleet.WaitBatchCompletion(*req);
+  ASSERT_EQ(6u, all.size());
+  for (const Result<ReplayStats>& r : all) {
+    EXPECT_TRUE(r.ok());
+  }
+  fleet.Stop();
+  EXPECT_EQ(6u, fleet.stats().executed);
 }
 
 }  // namespace

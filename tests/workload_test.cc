@@ -9,7 +9,7 @@
 #include "src/workload/record_campaigns.h"
 #include "src/workload/replay_block_device.h"
 #include "src/workload/rpi3_testbed.h"
-#include "tests/test_util.h"
+#include "src/workload/deploy_util.h"
 
 namespace dlt {
 namespace {

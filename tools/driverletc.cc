@@ -40,6 +40,11 @@
 //       invokes through the bounded queues; prints the per-shard dispatch
 //       table and the wall-clock queue-wait distribution. See
 //       docs/replay_fleet.md.
+//   driverletc ring <pkg> [--count K] [--batch N[,N...]]
+//       Drives K commands through the per-session invocation ring at each
+//       commands-per-doorbell size and prints the world-switch amortization
+//       table (switches/command, model time/command, in-batch queue wait).
+//       See docs/replay_service.md.
 //
 // The signing key is fixed (kDeveloperKey) — this mirrors the single developer
 // identity of the paper's threat model; a real deployment would provision keys.
@@ -75,7 +80,8 @@ int Usage() {
                " [-o <matrix.json>]\n"
                "       driverletc check [--seeds N] [--base-seed S] [--out <dir>]\n"
                "       driverletc check --repro <file>\n"
-               "       driverletc fleet <pkg...> [--shards N] [--invokes K] [--no-steal]\n");
+               "       driverletc fleet <pkg...> [--shards N] [--invokes K] [--no-steal]\n"
+               "       driverletc ring <pkg> [--count K] [--batch N[,N...]]\n");
   return 2;
 }
 
@@ -633,6 +639,115 @@ int CmdFleet(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+// Drives one driverlet through the per-session invocation ring at several
+// commands-per-doorbell sizes and prints the switch-amortization table
+// (docs/replay_service.md). Each batch size runs on a fresh testbed so the
+// virtual-clock and world-switch deltas are directly comparable.
+int CmdRing(int argc, char** argv) {
+  const char* path = nullptr;
+  size_t count = 64;
+  std::vector<size_t> batches = {1, 8, 64};
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = static_cast<size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--batch") == 0 && i + 1 < argc) {
+      batches.clear();
+      for (char* tok = std::strtok(argv[++i], ","); tok != nullptr;
+           tok = std::strtok(nullptr, ",")) {
+        size_t b = static_cast<size_t>(std::atoi(tok));
+        if (b == 0) {
+          return Usage();
+        }
+        batches.push_back(b);
+      }
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path == nullptr || count == 0 || batches.empty()) {
+    return Usage();
+  }
+  Result<std::vector<uint8_t>> data = ReadFile(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  Telemetry::Get().Enable();  // ring.* gauges + queue-wait histogram
+
+  int failures = 0;
+  bool header = false;
+  for (size_t batch : batches) {
+    TestbedOptions opts;
+    opts.secure_io = true;
+    opts.probe_drivers = false;
+    Rpi3Testbed tb{opts};
+    ReplayServiceConfig cfg;
+    cfg.ring_depth = batch;  // exactly one doorbell's worth of slots
+    ReplayService svc(&tb.tee(), kDeveloperKey, cfg);
+    Result<std::string> name = svc.RegisterDriverlet(data->data(), data->size());
+    if (!name.ok()) {
+      std::fprintf(stderr, "%s rejected: %s\n", path, StatusName(name.status()));
+      return 1;
+    }
+    std::string entry = svc.store().templates(*name).front()->entry;
+    Result<SessionId> sid = svc.OpenSession(*name);
+    if (!sid.ok()) {
+      return 1;
+    }
+    if (!header) {
+      std::printf("ring amortization: %s/%s, %zu commands per configuration\n\n",
+                  name->c_str(), entry.c_str(), count);
+      std::printf("batch  doorbells  switches/cmd   us/cmd      wait p50/p99 us\n");
+      header = true;
+    }
+    Histogram& wait = Telemetry::Get().metrics().histogram("ring.queue_wait_us");
+    wait.Reset();
+    std::vector<std::vector<uint8_t>> bufs(batch), auxs(batch);
+    uint64_t sw0 = tb.tee().world_switches();
+    uint64_t t0 = tb.clock().now_us();
+    uint64_t doorbells = 0;
+    size_t done = 0;
+    while (done < count) {
+      size_t n = batch < count - done ? batch : count - done;
+      for (size_t j = 0; j < n; ++j) {
+        ReplayArgs args;
+        if (!FleetArgsFor(entry, static_cast<int>(done + j), &bufs[j], &auxs[j], &args)) {
+          std::fprintf(stderr, "no synthetic load for entry %s\n", entry.c_str());
+          return 1;
+        }
+        if (!svc.RingPush(*sid, entry, std::move(args)).ok()) {
+          ++failures;
+        }
+      }
+      Result<size_t> ran = svc.RingDoorbell(*sid);
+      if (!ran.ok() || *ran != n) {
+        ++failures;
+      }
+      ++doorbells;
+      for (size_t j = 0; j < n; ++j) {
+        Result<RingCompletion> c = svc.RingPop(*sid);
+        if (!c.ok() || !c->result.ok()) {
+          ++failures;
+        }
+      }
+      done += n;
+    }
+    uint64_t switches = tb.tee().world_switches() - sw0;
+    double us_per_cmd = static_cast<double>(tb.clock().now_us() - t0) / count;
+    std::printf("%5zu  %9llu  %12.4f   %-9.1f   %llu/%llu\n", batch,
+                static_cast<unsigned long long>(doorbells),
+                static_cast<double>(switches) / count, us_per_cmd,
+                static_cast<unsigned long long>(wait.Percentile(50)),
+                static_cast<unsigned long long>(wait.Percentile(99)));
+  }
+  if (failures != 0) {
+    std::fprintf(stderr, "%d command failures\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -665,6 +780,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "fleet") == 0) {
     return CmdFleet(argc, argv);
+  }
+  if (std::strcmp(argv[1], "ring") == 0) {
+    return CmdRing(argc, argv);
   }
   return Usage();
 }
