@@ -19,8 +19,8 @@
 int main(int argc, char** argv) {
   using namespace dlt;
 
-  int num_seeds = 30;
-  uint64_t base_seed = 1;
+  SeedRange seed_range;
+  seed_range.count = 30;
   std::string out_path = "BENCH_conformance.json";
   for (int i = 1; i < argc; ++i) {
     auto next = [&](const char* flag) -> const char* {
@@ -30,10 +30,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--seeds") == 0) {
-      num_seeds = std::atoi(next("--seeds"));
-    } else if (std::strcmp(argv[i], "--base-seed") == 0) {
-      base_seed = std::strtoull(next("--base-seed"), nullptr, 0);
+    if (IsSeedRangeFlag(argv[i])) {
+      const char* flag = argv[i];
+      ApplySeedRangeFlag(&seed_range, flag, next(flag));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next("--out");
     } else {
@@ -41,10 +40,12 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (num_seeds < 1) {
+  if (!seed_range.valid()) {
     std::fprintf(stderr, "--seeds must be >= 1\n");
     return 2;
   }
+  const int num_seeds = seed_range.count;
+  const uint64_t base_seed = seed_range.base;
 
   const size_t invariants = AllInvariants().size();
   std::printf("conformance sweep: %d seeds x %zu invariants\n", num_seeds, invariants);

@@ -16,8 +16,7 @@
 int main(int argc, char** argv) {
   using namespace dlt;
 
-  int num_seeds = 4;
-  uint64_t base_seed = 1;
+  SeedRange seed_range;
   int ops = 6;
   std::string out_path = "BENCH_fault_matrix.json";
   for (int i = 1; i < argc; ++i) {
@@ -28,10 +27,9 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (std::strcmp(argv[i], "--seeds") == 0) {
-      num_seeds = std::atoi(next("--seeds"));
-    } else if (std::strcmp(argv[i], "--base-seed") == 0) {
-      base_seed = std::strtoull(next("--base-seed"), nullptr, 0);
+    if (IsSeedRangeFlag(argv[i])) {
+      const char* flag = argv[i];
+      ApplySeedRangeFlag(&seed_range, flag, next(flag));
     } else if (std::strcmp(argv[i], "--ops") == 0) {
       ops = std::atoi(next("--ops"));
     } else if (std::strcmp(argv[i], "--out") == 0) {
@@ -42,16 +40,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (num_seeds < 1 || ops < 1) {
+  if (!seed_range.valid() || ops < 1) {
     std::fprintf(stderr, "--seeds and --ops must be >= 1\n");
     return 2;
   }
+  const int num_seeds = seed_range.count;
 
   FaultMatrixConfig cfg;
-  cfg.seeds.clear();
-  for (int i = 0; i < num_seeds; ++i) {
-    cfg.seeds.push_back(base_seed + static_cast<uint64_t>(i));
-  }
+  cfg.seeds = seed_range.List();
   cfg.ops_per_cell = ops;
 
   std::printf("fault matrix: %d seeds x 3 planes x %zu driverlets, %d ops/cell\n",

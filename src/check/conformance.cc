@@ -7,6 +7,7 @@
 #include <set>
 
 #include "src/core/compiled_program.h"
+#include "src/core/integrity.h"
 #include "src/core/package.h"
 #include "src/core/replayer.h"
 #include "src/core/serialize_binary.h"
@@ -44,6 +45,7 @@ struct Obs {
   uint64_t replay_events = 0;     // "replay.events" counter
   uint64_t injected = 0;          // faults the injector fired
   DivergenceReport report;
+  MeasurementRecord meas;         // runtime integrity record of the last attempt
 };
 
 DriverletPackage PackageOf(const InteractionTemplate& tpl) {
@@ -91,6 +93,7 @@ Obs RunOnce(const GeneratedCase& g, ReplayEngine engine, const FaultPlan* plan,
   o.end_us = h.machine.clock().now_us();
   o.injected = inj.injected_total();
   o.report = rep.last_report();
+  o.meas = rep.last_measurement();
   return o;
 }
 
@@ -126,6 +129,31 @@ std::optional<std::string> DiffObs(const Obs& a, const Obs& b, bool engine_agnos
   }
   if (a.stats.resets != b.stats.resets) {
     return "resets: " + Num(a.stats.resets) + " vs " + Num(b.stats.resets);
+  }
+  // The integrity chain is part of the oracle surface: engines must fold the
+  // same structural descriptors in the same order (docs/architecture.md).
+  if (a.stats.measurement != b.stats.measurement) {
+    return "stats.measurement: " + a.stats.measurement + " vs " + b.stats.measurement;
+  }
+  if (a.stats.events_measured != b.stats.events_measured) {
+    return "events_measured: " + Num(a.stats.events_measured) + " vs " +
+           Num(b.stats.events_measured);
+  }
+  if (a.meas.valid != b.meas.valid) {
+    return std::string("measurement.valid: ") + (a.meas.valid ? "true" : "false") + " vs " +
+           (b.meas.valid ? "true" : "false");
+  }
+  if (a.meas.valid) {
+    if (a.meas.Hex() != b.meas.Hex()) {
+      return "measurement: " + a.meas.Hex() + " vs " + b.meas.Hex();
+    }
+    if (a.meas.events_measured != b.meas.events_measured) {
+      return "measurement.events: " + Num(a.meas.events_measured) + " vs " +
+             Num(b.meas.events_measured);
+    }
+    if (a.meas.matches_golden != b.meas.matches_golden) {
+      return std::string("measurement.matches_golden differs");
+    }
   }
   if (!engine_agnostic) {
     if (a.stats.compiled != b.stats.compiled) {
@@ -340,6 +368,49 @@ std::optional<std::string> CheckBaseline(const GeneratedCase& g, ConformanceOutc
   return std::nullopt;
 }
 
+// Runtime integrity measurement (ninth property, ROADMAP item 3): a complete
+// run's hash chain equals the template's golden measurement on both engines; a
+// failing run's chain is a strict prefix and must NOT claim the golden value.
+std::optional<std::string> CheckMeasurement(const GeneratedCase& g, ConformanceOutcome*) {
+  const std::string golden = GoldenMeasurementHex(g.tpl);
+  Obs interp = RunOnce(g, ReplayEngine::kInterpreter, nullptr);
+  Obs compiled = RunOnce(g, ReplayEngine::kCompiled, nullptr);
+  if (!interp.meas.valid || !compiled.meas.valid) {
+    return std::string("clean run left no measurement record");
+  }
+  if (interp.meas.Hex() != compiled.meas.Hex()) {
+    return "engines measured different chains: " + interp.meas.Hex() + " vs " +
+           compiled.meas.Hex();
+  }
+  if (compiled.status == Status::kOk) {
+    if (!compiled.meas.matches_golden || compiled.meas.Hex() != golden) {
+      return "successful run's measurement is not the golden hash (got " +
+             compiled.meas.Hex() + ", want " + golden + ")";
+    }
+    if (compiled.stats.measurement != golden) {
+      return std::string("ReplayStats.measurement disagrees with golden hash");
+    }
+  } else if (compiled.meas.matches_golden || compiled.meas.Hex() == golden) {
+    return std::string("failed run still claims the golden measurement");
+  }
+  Obs again = RunOnce(g, ReplayEngine::kCompiled, nullptr);
+  if (!again.meas.valid || again.meas.Hex() != compiled.meas.Hex()) {
+    return std::string("measurement unstable across identical runs");
+  }
+  // Under seeded faults a *failing* run must never present the golden chain.
+  FaultTargets targets;
+  targets.device = kGenDeviceId;
+  targets.irq_line = kGenIrqLine;
+  targets.dma_via_engine = true;
+  FaultPlan plan = MakePresetPlan(FaultPlane::kMmio, g.seed, targets);
+  Obs faulted = RunOnce(g, ReplayEngine::kCompiled, &plan);
+  if (faulted.status != Status::kOk && faulted.meas.valid &&
+      (faulted.meas.matches_golden || faulted.meas.Hex() == golden)) {
+    return std::string("faulted failing run still claims the golden measurement");
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> CheckFaultPlane(const GeneratedCase& g, FaultPlane plane) {
   FaultTargets targets;
   targets.device = kGenDeviceId;
@@ -378,6 +449,7 @@ const std::vector<NamedInvariant>& Registry() {
        [](const GeneratedCase& g, ConformanceOutcome*) {
          return CheckFaultPlane(g, FaultPlane::kIrq);
        }},
+      {"measurement", CheckMeasurement},
   };
   return *reg;
 }

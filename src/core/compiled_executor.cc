@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "src/core/executor.h"
+#include "src/core/integrity.h"
+#include "src/obs/edge.h"
 #include "src/obs/telemetry.h"
 
 namespace dlt {
@@ -10,6 +12,12 @@ namespace dlt {
 CompiledExecutor::CompiledExecutor(ReplayContext* ctx, const CompiledProgram* prog,
                                    const ReplayArgs* args)
     : ctx_(ctx), prog_(prog), args_(args) {}
+
+void CompiledExecutor::FoldSrc(const SrcEvent& se) {
+  if (chain_ != nullptr) {
+    chain_->FoldEvent(*se.ev, se.index);
+  }
+}
 
 Result<uint64_t> CompiledExecutor::EvalValue(const Operand& o) const {
   Result<uint64_t> r = prog_->EvalOperand(o, slots_.data(), bound_.data());
@@ -133,7 +141,14 @@ Status CompiledExecutor::ExecPoll(const CompiledOp& op, DivergenceReport* report
       FillDivergenceReport(ctx_, *prog_->source, *se.ev, se.index, v, report);
       return Status::kDiverged;
     }
-    DLT_RETURN_IF_ERROR(ExecRange(op.body_begin, op.body_end, report));
+    EdgeCoverage::Get().Hit(Edge::kCompiledPollIter);
+    // Poll bodies are outside the measurement (iteration counts are device
+    // timing, not template structure) — suppress folds for the body range.
+    IntegrityChain* saved_chain = chain_;
+    chain_ = nullptr;
+    Status body = ExecRange(op.body_begin, op.body_end, report);
+    chain_ = saved_chain;
+    DLT_RETURN_IF_ERROR(body);
     ctx_->DelayUs(op.interval_us);
     waited += op.interval_us;
   }
@@ -311,6 +326,7 @@ Status CompiledExecutor::ExecBulkExact(const CompiledOp& op, DivergenceReport* r
     if (!Ok(s)) {
       return s;
     }
+    FoldSrc(se);
   }
   return Status::kOk;
 }
@@ -323,14 +339,17 @@ Status CompiledExecutor::ExecBulk(const CompiledOp& op, DivergenceReport* report
   if (telemetry) {
     // Per-word traces and histograms must match the interpreter event for
     // event, so traced runs take the exact path.
+    EdgeCoverage::Get().Hit(Edge::kCompiledBulkExact);
     return ExecBulkExact(op, report, true);
   }
   // Side-effect-free pre-pass: the fast path is only safe when the base
   // evaluates and the whole range is inside one allocation and the pool.
   Result<uint64_t> base = EvalValue(op.addr);
   if (!base.ok() || !Ok(CheckAddr(static_cast<PhysAddr>(*base + op.base_off), 4 * words))) {
+    EdgeCoverage::Get().Hit(Edge::kCompiledBulkExact);
     return ExecBulkExact(op, report, false);
   }
+  EdgeCoverage::Get().Hit(Edge::kCompiledBulkFast);
   PhysAddr a0 = static_cast<PhysAddr>(*base + op.base_off);
   if (op.code == COp::kShmWriteBulk) {
     scratch_.assign(words, 0);
@@ -348,6 +367,10 @@ Status CompiledExecutor::ExecBulk(const CompiledOp& op, DivergenceReport* report
         return v.status();
       }
       scratch_[w] = static_cast<uint32_t>(*v);
+      // Measurement parity with the interpreter's per-word write: the word is
+      // folded once staged — the pre-pass already admitted the whole range, so
+      // the deferred block transfer cannot reject it.
+      FoldSrc(prog_->src[cw.src_event]);
     }
     Status s =
         ctx_->MemCopyIn(a0, reinterpret_cast<const uint8_t*>(scratch_.data()), 4 * words);
@@ -376,12 +399,15 @@ Status CompiledExecutor::ExecBulk(const CompiledOp& op, DivergenceReport* report
     }
     DLT_RETURN_IF_ERROR(
         CheckAtoms(cw.atom_begin, cw.atom_end, prog_->src[cw.src_event], v, report));
+    FoldSrc(prog_->src[cw.src_event]);
   }
   return Status::kOk;
 }
 
 Status CompiledExecutor::ExecOp(const CompiledOp& op, DivergenceReport* report) {
   Telemetry& t = Telemetry::Get();
+  // Fuzzer coverage signal: one map cell per opcode (docs/fuzzing.md).
+  EdgeCoverage::Get().HitIndex(kEdgeOpBase + static_cast<size_t>(op.code));
   if (op.code == COp::kShmReadBulk || op.code == COp::kShmWriteBulk) {
     return ExecBulk(op, report, t.enabled());
   }
@@ -389,7 +415,11 @@ Status CompiledExecutor::ExecOp(const CompiledOp& op, DivergenceReport* report) 
     ChargeEvent();
     AccountOp(1);
     ++events_executed_;
-    return Dispatch(op, report);
+    Status s = Dispatch(op, report);
+    if (Ok(s)) {
+      FoldSrc(prog_->src[op.src_event]);
+    }
+    return s;
   }
   const SrcEvent& se = prog_->src[op.src_event];
   uint64_t t0 = ctx_->TimestampUs();
@@ -402,6 +432,9 @@ Status CompiledExecutor::ExecOp(const CompiledOp& op, DivergenceReport* report) 
   ReplayKindHistogram(se.ev->kind).Record(dur);
   t.Span(TraceKind::kReplayEvent, t0, dur, EventKindName(se.ev->kind), se.index,
          static_cast<uint64_t>(s), se.ev->device);
+  if (Ok(s)) {
+    FoldSrc(se);
+  }
   return s;
 }
 

@@ -15,6 +15,8 @@
 
 namespace dlt {
 
+class IntegrityChain;
+
 class CompiledExecutor {
  public:
   CompiledExecutor(ReplayContext* ctx, const CompiledProgram* prog, const ReplayArgs* args);
@@ -33,6 +35,12 @@ class CompiledExecutor {
   // charging keeps virtual timelines (poll budgets, IRQ deadlines, seeded
   // fault-opportunity streams) byte-identical between engines.
   void set_model_clock(bool on) { model_clock_ = on; }
+
+  // Optional integrity measurement (integrity.h): folds every completed
+  // top-level source event — bulk ops fold per covered word — producing the
+  // same chain the interpreter builds for the same template, including the
+  // prefix of a diverged attempt. Poll bodies are excluded.
+  void set_integrity_chain(IntegrityChain* chain) { chain_ = chain; }
 
  private:
   struct BufSlot {
@@ -97,10 +105,14 @@ class CompiledExecutor {
   std::vector<Alloc> allocs_;
   std::vector<uint32_t> scratch_;  // staging words for bulk/PIO transfers
 
+  // Folds the source event an op/word covers once it completed successfully.
+  void FoldSrc(const SrcEvent& se);
+
   size_t events_executed_ = 0;
   uint64_t cpu_model_ns_ = 0;
   uint64_t bulk_ops_ = 0;
   bool model_clock_ = false;
+  IntegrityChain* chain_ = nullptr;
 };
 
 }  // namespace dlt

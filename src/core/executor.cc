@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "src/core/compiled_program.h"
+#include "src/core/integrity.h"
 #include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
@@ -339,6 +340,17 @@ Status Executor::RunEvents(const std::vector<TemplateEvent>& events, DivergenceR
   return Status::kOk;
 }
 
-Status Executor::Run(DivergenceReport* report) { return RunEvents(tpl_->events, report); }
+Status Executor::Run(DivergenceReport* report) {
+  // Top-level loop folds the integrity chain itself (RunEvents also serves
+  // poll bodies, which the measurement parity contract excludes).
+  const std::vector<TemplateEvent>& events = tpl_->events;
+  for (size_t i = 0; i < events.size(); ++i) {
+    DLT_RETURN_IF_ERROR(RunOne(events[i], i, report));
+    if (chain_ != nullptr) {
+      chain_->FoldEvent(events[i], i);
+    }
+  }
+  return Status::kOk;
+}
 
 }  // namespace dlt

@@ -14,6 +14,7 @@
 namespace dlt {
 
 class Histogram;
+class IntegrityChain;
 
 class Executor {
  public:
@@ -23,6 +24,11 @@ class Executor {
   Status Run(DivergenceReport* report);
 
   size_t events_executed() const { return events_executed_; }
+
+  // Optional integrity measurement: Run folds every completed top-level event
+  // into |chain| (integrity.h). Poll bodies are excluded by the parity
+  // contract — only Run's own loop folds.
+  void set_integrity_chain(IntegrityChain* chain) { chain_ = chain; }
 
  private:
   Status RunEvents(const std::vector<TemplateEvent>& events, DivergenceReport* report);
@@ -62,6 +68,7 @@ class Executor {
   std::vector<Alloc> allocs_;
   std::vector<uint32_t> pio_scratch_;  // staging words for PIO block transfers
   size_t events_executed_ = 0;
+  IntegrityChain* chain_ = nullptr;
 };
 
 // Renders an event for reports: "reg_write mmc+0x34 @bcm_sdhost.cc:210".

@@ -1,0 +1,74 @@
+#include "src/core/integrity.h"
+
+#include <cstring>
+
+namespace dlt {
+
+namespace {
+
+void PutU64(Sha256* h, uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  h->Update(b, sizeof(b));
+}
+
+void PutStr(Sha256* h, const std::string& s) {
+  PutU64(h, s.size());
+  h->Update(s.data(), s.size());
+}
+
+}  // namespace
+
+IntegrityChain::IntegrityChain() {
+  value_ = Sha256::Hash(kIntegritySeed, std::strlen(kIntegritySeed));
+}
+
+void IntegrityChain::Begin(const InteractionTemplate& tpl) {
+  Sha256 h;
+  h.Update(value_.data(), value_.size());
+  PutStr(&h, tpl.name);
+  PutStr(&h, tpl.entry);
+  PutU64(&h, tpl.events.size());
+  value_ = h.Finalize();
+}
+
+void IntegrityChain::FoldEvent(const TemplateEvent& e, size_t index) {
+  Sha256 h;
+  h.Update(value_.data(), value_.size());
+  // Static template structure only — runtime values (bound reads, timestamps,
+  // poll iteration counts) would break cross-engine and cross-run parity.
+  PutU64(&h, index);
+  PutU64(&h, static_cast<uint64_t>(e.kind));
+  PutU64(&h, e.device);
+  PutU64(&h, e.reg_off);
+  PutU64(&h, static_cast<uint64_t>(static_cast<int64_t>(e.irq_line)));
+  PutStr(&h, e.bind);
+  PutStr(&h, e.buffer);
+  value_ = h.Finalize();
+  ++folded_;
+}
+
+void IntegrityChain::Extend(const Sha256::Digest& d) {
+  Sha256 h;
+  h.Update(value_.data(), value_.size());
+  h.Update(d.data(), d.size());
+  value_ = h.Finalize();
+  ++folded_;
+}
+
+Sha256::Digest GoldenMeasurement(const InteractionTemplate& tpl) {
+  IntegrityChain chain;
+  chain.Begin(tpl);
+  for (size_t i = 0; i < tpl.events.size(); ++i) {
+    chain.FoldEvent(tpl.events[i], i);
+  }
+  return chain.digest();
+}
+
+std::string GoldenMeasurementHex(const InteractionTemplate& tpl) {
+  return Sha256::HexDigest(GoldenMeasurement(tpl));
+}
+
+}  // namespace dlt

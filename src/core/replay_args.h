@@ -50,6 +50,12 @@ struct ReplayStats {
   bool compiled = false;
   uint64_t cpu_model_ns = 0;
   uint64_t bulk_ops = 0;
+  // Runtime integrity measurement of the successful attempt (integrity.h):
+  // hex SHA-256 chain over the executed top-level events and how many were
+  // folded. A successful invoke's chain always equals the template's golden
+  // measurement; the failed-invoke chain lives in Replayer::last_measurement.
+  std::string measurement;
+  size_t events_measured = 0;
 };
 
 // Diagnostic produced when the executor gives up: the divergent event plus the

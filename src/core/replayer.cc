@@ -42,6 +42,9 @@ std::vector<const InteractionTemplate*> Replayer::templates() const {
 Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& args) {
   Telemetry& tel = Telemetry::Get();
   uint64_t invoke_t0 = tel.enabled() ? ctx_->TimestampUs() : 0;
+  // Reset before selection: a selection miss must not leave the previous
+  // invoke's measurement looking like this one's.
+  measurement_ = MeasurementRecord{};
 
   // Selection goes through the store's (driverlet, entry) index; args.scalars
   // doubles as the constraint bindings (no per-invoke rebuild). The compiled
@@ -120,23 +123,39 @@ Result<ReplayStats> Replayer::Invoke(std::string_view entry, const ReplayArgs& a
     }
     ctx_->DmaReleaseAll();
 
+    // Fresh chain per attempt: the measurement describes the final attempt's
+    // execution, not the union of retries.
+    IntegrityChain chain;
+    chain.Begin(*tpl);
     Status s = Status::kOk;
     size_t events = 0;
     if (prog != nullptr) {
       CompiledExecutor exec(ctx_, prog.get(), &args);
       exec.set_model_clock(compiled_model_clock_);
+      exec.set_integrity_chain(&chain);
       s = exec.Run(&report_);
       events = exec.events_executed();
       stats.cpu_model_ns += exec.cpu_model_ns();
       stats.bulk_ops += exec.bulk_ops();
     } else {
       Executor exec(ctx_, tpl, &args);
+      exec.set_integrity_chain(&chain);
       s = exec.Run(&report_);
       events = exec.events_executed();
     }
     stats.events_executed += events;
     total_events_ += events;
+    measurement_.valid = true;
+    measurement_.template_name = tpl->name;
+    measurement_.events_measured = chain.folded();
+    measurement_.digest = chain.digest();
+    // A complete run's chain equals the golden measurement by construction;
+    // anything that stopped early folded a strict prefix, whose chain value
+    // cannot collide with the full one.
+    measurement_.matches_golden = Ok(s);
     if (Ok(s)) {
+      stats.measurement = measurement_.Hex();
+      stats.events_measured = measurement_.events_measured;
       if (tel.enabled()) {
         uint64_t now = ctx_->TimestampUs();
         tel.metrics().histogram("replay.invoke_us").Record(now - invoke_t0);

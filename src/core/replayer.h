@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/integrity.h"
 #include "src/core/interaction_template.h"
 #include "src/core/package.h"
 #include "src/core/replay_args.h"
@@ -58,6 +59,11 @@ class Replayer {
   TemplateStore& store() { return *store_; }
   const TemplateStore& store() const { return *store_; }
   const DivergenceReport& last_report() const { return report_; }
+  // Integrity measurement of the last Invoke's final attempt (valid after the
+  // engines actually ran — a selection miss leaves it invalid). Failed invokes
+  // return a bare Status, so the chain of a diverged/aborted run is only
+  // reachable here; the service's quarantine policy reads it.
+  const MeasurementRecord& last_measurement() const { return measurement_; }
 
   int max_attempts() const { return max_attempts_; }
   void set_max_attempts(int n) { max_attempts_ = n; }
@@ -95,6 +101,7 @@ class Replayer {
   std::string scope_;      // restrict selection to this driverlet; empty = any
   std::string driverlet_name_;
   DivergenceReport report_;
+  MeasurementRecord measurement_;
   int max_attempts_ = 3;
   uint64_t retry_backoff_us_ = 0;
   bool reset_between_templates_ = true;

@@ -1,0 +1,126 @@
+#include "src/tee/attestation.h"
+
+#include <vector>
+
+namespace dlt {
+
+namespace {
+
+constexpr char kQuoteHeader[] = "driverlet-attest v1";
+
+std::string HexMac(const Sha256::Digest& d) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(d.size() * 2);
+  for (uint8_t b : d) {
+    s.push_back(digits[b >> 4]);
+    s.push_back(digits[b & 0xf]);
+  }
+  return s;
+}
+
+Result<uint64_t> ParseDec(std::string_view tok) {
+  if (tok.empty()) {
+    return Status::kCorrupt;
+  }
+  uint64_t v = 0;
+  for (char c : tok) {
+    if (c < '0' || c > '9') {
+      return Status::kCorrupt;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string QuoteBody(const AttestationQuote& q) {
+  std::string s;
+  s += kQuoteHeader;
+  s += '\n';
+  s += "driverlet " + q.driverlet + "\n";
+  s += "session " + std::to_string(q.session_id) + "\n";
+  s += "invokes " + std::to_string(q.invokes) + "\n";
+  s += "failures " + std::to_string(q.failures) + "\n";
+  s += "mismatches " + std::to_string(q.measurement_mismatches) + "\n";
+  s += std::string("quarantined ") + (q.quarantined ? "1" : "0") + "\n";
+  s += "measurement " + q.session_measurement + "\n";
+  if (!q.last_measurement.empty()) {
+    s += "last " + q.last_measurement + "\n";
+  }
+  s += "nonce " + q.nonce + "\n";
+  return s;
+}
+
+std::string SerializeQuote(const AttestationQuote& q) {
+  return QuoteBody(q) + "mac " + q.mac + "\n";
+}
+
+Result<AttestationQuote> ParseQuote(std::string_view text) {
+  AttestationQuote q;
+  bool saw_header = false;
+  bool saw_mac = false;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) {
+      eol = text.size();
+    }
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!saw_header) {
+      if (line != kQuoteHeader) {
+        return Status::kCorrupt;
+      }
+      saw_header = true;
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    size_t sp = line.find(' ');
+    std::string_view key = line.substr(0, sp);
+    std::string_view val = sp == std::string_view::npos ? std::string_view() : line.substr(sp + 1);
+    if (key == "driverlet") {
+      q.driverlet = std::string(val);
+    } else if (key == "session") {
+      DLT_ASSIGN_OR_RETURN(q.session_id, ParseDec(val));
+    } else if (key == "invokes") {
+      DLT_ASSIGN_OR_RETURN(q.invokes, ParseDec(val));
+    } else if (key == "failures") {
+      DLT_ASSIGN_OR_RETURN(q.failures, ParseDec(val));
+    } else if (key == "mismatches") {
+      DLT_ASSIGN_OR_RETURN(q.measurement_mismatches, ParseDec(val));
+    } else if (key == "quarantined") {
+      q.quarantined = val == "1";
+    } else if (key == "measurement") {
+      q.session_measurement = std::string(val);
+    } else if (key == "last") {
+      q.last_measurement = std::string(val);
+    } else if (key == "nonce") {
+      q.nonce = std::string(val);
+    } else if (key == "mac") {
+      q.mac = std::string(val);
+      saw_mac = true;
+    } else {
+      return Status::kCorrupt;
+    }
+  }
+  if (!saw_header || !saw_mac) {
+    return Status::kCorrupt;
+  }
+  return q;
+}
+
+void SignQuote(AttestationQuote* q, std::string_view key) {
+  std::string body = QuoteBody(*q);
+  q->mac = HexMac(HmacSha256(key, body.data(), body.size()));
+}
+
+bool VerifyQuote(const AttestationQuote& q, std::string_view key) {
+  std::string body = QuoteBody(q);
+  return q.mac == HexMac(HmacSha256(key, body.data(), body.size()));
+}
+
+}  // namespace dlt

@@ -20,9 +20,17 @@
 #include <vector>
 
 #include "src/core/replay_args.h"
+#include "src/obs/edge.h"
 #include "src/soc/status.h"
 
 namespace dlt {
+
+// Test hook for the boundary fuzzer's regression guard: when set, PopCompletion
+// mis-orders reaps after the ring has wrapped (it reads the *sibling* slot of
+// the wrapped index), breaking the strictly-increasing-seq invariant the fuzzer
+// asserts. Never enabled in production paths.
+void SetRingWrapQuirkForTest(bool enabled);
+bool RingWrapQuirkForTest();
 
 // One submission descriptor. Buffer views inside |args| are borrowed — the
 // client keeps the memory alive until the command's completion is reaped.
@@ -56,6 +64,10 @@ class InvocationRing {
     if (in_flight() >= slots_.size()) {
       return Status::kBusy;
     }
+    EdgeCoverage::Get().Hit(Edge::kRingPush);
+    if (pushed_ >= slots_.size()) {
+      EdgeCoverage::Get().Hit(Edge::kRingWrap);  // slot index has wrapped
+    }
     Slot& s = slots_[pushed_ % slots_.size()];
     s.seq = pushed_;
     s.cmd.entry = std::move(entry);
@@ -70,7 +82,13 @@ class InvocationRing {
     if (reaped_ == drained_) {
       return Status::kNotFound;
     }
-    Slot& s = slots_[reaped_ % slots_.size()];
+    uint64_t idx = reaped_;
+    if (RingWrapQuirkForTest() && reaped_ >= slots_.size() && slots_.size() > 1) {
+      // Planted wrap bug (see SetRingWrapQuirkForTest): reap the sibling slot
+      // once the sequence space has wrapped past the slot array.
+      idx = reaped_ ^ 1;
+    }
+    Slot& s = slots_[idx % slots_.size()];
     RingCompletion c;
     c.seq = s.seq;
     c.result = std::move(s.result);
@@ -84,6 +102,11 @@ class InvocationRing {
   // and then publishes the whole batch with FinishDrain(drain_end).
   uint64_t drain_begin() const { return drained_; }
   uint64_t drain_end() const { return pushed_; }
+  // Monotonic sequence counters — the fuzzer's ring-accounting invariant
+  // asserts pushed() >= drained() >= reaped() and all three never regress.
+  uint64_t pushed() const { return pushed_; }
+  uint64_t drained() const { return drained_; }
+  uint64_t reaped() const { return reaped_; }
   RingCmd& command(uint64_t seq) { return slots_[seq % slots_.size()].cmd; }
   Result<ReplayStats>& result_slot(uint64_t seq) { return slots_[seq % slots_.size()].result; }
   void FinishDrain(uint64_t upto) { drained_ = upto; }

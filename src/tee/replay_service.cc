@@ -2,10 +2,18 @@
 
 #include <utility>
 
+#include "src/obs/edge.h"
 #include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
 namespace dlt {
+
+namespace {
+bool g_ring_wrap_quirk = false;
+}  // namespace
+
+void SetRingWrapQuirkForTest(bool enabled) { g_ring_wrap_quirk = enabled; }
+bool RingWrapQuirkForTest() { return g_ring_wrap_quirk; }
 
 ReplayService::ReplayService(SecureWorld* tee, std::string signing_key,
                              ReplayServiceConfig cfg)
@@ -31,6 +39,7 @@ Result<std::string> ReplayService::RegisterDriverlet(const DriverletPackage& pkg
     if (!tee_->DeviceMapped(dev)) {
       DLT_LOG(kWarn) << "driverlet " << pkg.driverlet << " refused: device " << dev
                      << " not mapped into the TEE";
+      EdgeCoverage::Get().Hit(Edge::kServiceRegisterReject);
       return Status::kPermissionDenied;
     }
   }
@@ -51,6 +60,7 @@ Result<std::string> ReplayService::RegisterDriverlet(const DriverletPackage& pkg
                                              : ReplayEngine::kInterpreter);
     DLT_RETURN_IF_ERROR(it->second->LoadPackage(pkg));
   }
+  EdgeCoverage::Get().Hit(Edge::kServiceRegister);
   Telemetry& tel = Telemetry::Get();
   if (tel.enabled()) {
     tel.metrics().counter("service.packages_registered").Inc();
@@ -71,12 +81,14 @@ Result<SessionId> ReplayService::OpenSession(std::string_view driverlet) {
   Telemetry& tel = Telemetry::Get();
   auto it = replayers_.find(driverlet);
   if (it == replayers_.end()) {
+    EdgeCoverage::Get().Hit(Edge::kServiceOpenReject);
     if (tel.enabled()) {
       tel.metrics().counter("service.sessions_rejected").Inc();
     }
     return Status::kNotFound;  // admission: only verified, registered packages
   }
   if (sessions_.size() >= cfg_.max_sessions) {
+    EdgeCoverage::Get().Hit(Edge::kServiceOpenReject);
     if (tel.enabled()) {
       tel.metrics().counter("service.sessions_rejected").Inc();
     }
@@ -87,6 +99,7 @@ Result<SessionId> ReplayService::OpenSession(std::string_view driverlet) {
   s.driverlet = it->first;
   s.stats.driverlet = it->first;
   s.stats.opened_us = tee_->TimestampUs();
+  EdgeCoverage::Get().Hit(Edge::kServiceOpen);
   if (tel.enabled()) {
     tel.metrics().counter("service.sessions_opened").Inc();
   }
@@ -101,6 +114,7 @@ Status ReplayService::CloseSession(SessionId id) {
   sessions_.erase(it);
   // Requests still queued under this session complete as kNotFound when
   // processed — the submitter learns its session died, FIFO order is kept.
+  EdgeCoverage::Get().Hit(Edge::kServiceClose);
   Telemetry& tel = Telemetry::Get();
   if (tel.enabled()) {
     tel.metrics().counter("service.sessions_closed").Inc();
@@ -125,6 +139,7 @@ Result<ReplayStats> ReplayService::DoInvokeOne(Session& s, std::string_view entr
   Telemetry& tel = Telemetry::Get();
   if (s.stats.quarantined) {
     // Ladder rung 3: fail fast, never touch the device again on this session.
+    EdgeCoverage::Get().Hit(Edge::kServiceQuarantineReject);
     if (tel.enabled()) {
       tel.metrics().counter("service.quarantine_rejects").Inc();
     }
@@ -134,22 +149,59 @@ Result<ReplayStats> ReplayService::DoInvokeOne(Session& s, std::string_view entr
   Result<ReplayStats> r = rep->Invoke(entry, args);
   ++s.stats.invokes;
   s.stats.last_invoke_us = tee_->TimestampUs();
+  // Runtime integrity: fold the final attempt's measurement into the session
+  // PCR and record it, whether or not the invoke succeeded — the attestation
+  // quote commits to failures too. A divergence from the template's golden
+  // hash is counted here; whether it *quarantines* depends on the policy knob.
+  const MeasurementRecord& m = rep->last_measurement();
+  bool mismatch = false;
+  if (m.valid) {
+    s.pcr.Extend(m.digest);
+    s.stats.last_measurement = m.Hex();
+    if (!m.matches_golden) {
+      mismatch = true;
+      ++s.stats.measurement_mismatches;
+      EdgeCoverage::Get().Hit(Edge::kServiceMeasurementMismatch);
+      if (tel.enabled()) {
+        tel.metrics().counter("service.integrity_mismatches").Inc();
+      }
+    }
+  }
   if (r.ok()) {
+    EdgeCoverage::Get().Hit(Edge::kServiceInvokeOk);
     s.stats.events_executed += r->events_executed;
     s.stats.resets += static_cast<uint64_t>(r->resets);
     s.stats.attempts += static_cast<uint64_t>(r->attempts);
     s.stats.consecutive_device_failures = 0;
     ++s.stats.per_template[r->template_name];
   } else {
+    EdgeCoverage::Get().Hit(Edge::kServiceInvokeFail);
     ++s.stats.failures;
-    if (IsDeviceHealthFailure(r.status()) && cfg_.quarantine_threshold > 0 &&
-        ++s.stats.consecutive_device_failures >= cfg_.quarantine_threshold) {
+    if (cfg_.enforce_integrity && mismatch && IsDeviceHealthFailure(r.status())) {
+      // Ladder rung 0: the execution trace itself diverged from the template's
+      // golden measurement — quarantine immediately, below the consecutive-
+      // failure threshold. The streak still advances so telemetry stays
+      // comparable with the threshold-only policy.
+      ++s.stats.consecutive_device_failures;
+      s.stats.quarantined = true;
+      ++quarantined_total_;
+      DLT_LOG(kWarn) << "session on " << s.driverlet
+                     << " quarantined: runtime measurement diverged from golden ("
+                     << StatusName(r.status()) << ")";
+      EdgeCoverage::Get().Hit(Edge::kServiceIntegrityQuarantine);
+      if (tel.enabled()) {
+        tel.metrics().counter("service.integrity_quarantines").Inc();
+        tel.metrics().counter("service.quarantines").Inc();
+      }
+    } else if (IsDeviceHealthFailure(r.status()) && cfg_.quarantine_threshold > 0 &&
+               ++s.stats.consecutive_device_failures >= cfg_.quarantine_threshold) {
       s.stats.quarantined = true;
       ++quarantined_total_;
       DLT_LOG(kWarn) << "session on " << s.driverlet << " quarantined after "
                      << s.stats.consecutive_device_failures
                      << " consecutive device failures (last: "
                      << StatusName(r.status()) << ")";
+      EdgeCoverage::Get().Hit(Edge::kServiceQuarantine);
       if (tel.enabled()) {
         tel.metrics().counter("service.quarantines").Inc();
       }
@@ -171,6 +223,7 @@ void ReplayService::DoInvokeBatch(BatchItem* items, size_t n) {
     return;  // nothing pending: the SMC boundary is not crossed at all
   }
   Telemetry& tel = Telemetry::Get();
+  EdgeCoverage::Get().Hit(Edge::kServiceBatch);
   tee_->WorldSwitch("smc_invoke", 0);
   uint64_t batch_t0 = tee_->TimestampUs();
   for (size_t i = 0; i < n; ++i) {
@@ -181,6 +234,7 @@ void ReplayService::DoInvokeBatch(BatchItem* items, size_t n) {
       tel.metrics().histogram("ring.queue_wait_us").Record(tee_->TimestampUs() - batch_t0);
     }
     if (items[i].session == nullptr) {
+      EdgeCoverage::Get().Hit(Edge::kServiceSessionGone);
       *items[i].out = Status::kNotFound;  // session closed before the drain
     } else {
       *items[i].out = DoInvokeOne(*items[i].session, items[i].entry, *items[i].args);
@@ -230,12 +284,14 @@ Result<uint64_t> ReplayService::Submit(SessionId id, std::string entry, ReplayAr
     return Status::kQuarantined;  // fail fast instead of occupying the queue
   }
   if (queue_.size() >= cfg_.queue_depth) {
+    EdgeCoverage::Get().Hit(Edge::kServiceQueueReject);
     Telemetry& tel = Telemetry::Get();
     if (tel.enabled()) {
       tel.metrics().counter("service.queue_rejects").Inc();
     }
     return Status::kBusy;
   }
+  EdgeCoverage::Get().Hit(Edge::kServiceQueueSubmit);
   Pending p;
   p.id = next_request_++;
   p.session = id;
@@ -261,6 +317,7 @@ size_t ReplayService::ProcessQueued(size_t max_requests) {
   if (drain.empty()) {
     return 0;
   }
+  EdgeCoverage::Get().Hit(Edge::kServiceQueueDrain);
   std::vector<Result<ReplayStats>> results(drain.size(),
                                            Result<ReplayStats>(Status::kBadState));
   std::vector<BatchItem> items(drain.size());
@@ -312,8 +369,11 @@ Result<uint64_t> ReplayService::RingPush(SessionId id, std::string entry, Replay
     if (tel.enabled()) {
       tel.metrics().gauge("ring.sq_depth").Set(it->second.ring->submission_depth());
     }
-  } else if (tel.enabled()) {
-    tel.metrics().counter("ring.full_rejects").Inc();
+  } else {
+    EdgeCoverage::Get().Hit(Edge::kRingFull);
+    if (tel.enabled()) {
+      tel.metrics().counter("ring.full_rejects").Inc();
+    }
   }
   return seq;
 }
@@ -337,8 +397,10 @@ Result<size_t> ReplayService::RingDoorbell(SessionId id) {
     tel.metrics().histogram("ring.batch_size").Record(n);
   }
   if (n == 0) {
+    EdgeCoverage::Get().Hit(Edge::kRingEmptyDoorbell);
     return size_t{0};  // empty doorbell: no switch charged, nothing to do
   }
+  EdgeCoverage::Get().Hit(Edge::kRingDoorbell);
   std::vector<BatchItem> items;
   items.reserve(n);
   for (uint64_t seq = begin; seq != end; ++seq) {
@@ -364,10 +426,13 @@ Result<RingCompletion> ReplayService::RingPop(SessionId id) {
   }
   Result<RingCompletion> c = it->second.ring->PopCompletion();
   if (c.ok()) {
+    EdgeCoverage::Get().Hit(Edge::kRingPop);
     Telemetry& tel = Telemetry::Get();
     if (tel.enabled()) {
       tel.metrics().gauge("ring.cq_depth").Set(it->second.ring->completion_depth());
     }
+  } else {
+    EdgeCoverage::Get().Hit(Edge::kRingPopEmpty);
   }
   return c;
 }
@@ -388,6 +453,26 @@ Result<SessionStats> ReplayService::Stats(SessionId id) const {
     return Status::kNotFound;
   }
   return it->second.stats;
+}
+
+Result<AttestationQuote> ReplayService::Attest(SessionId id, std::string nonce) const {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    return Status::kNotFound;
+  }
+  const Session& s = it->second;
+  AttestationQuote q;
+  q.driverlet = s.driverlet;
+  q.session_id = id;
+  q.invokes = s.stats.invokes;
+  q.failures = s.stats.failures;
+  q.measurement_mismatches = s.stats.measurement_mismatches;
+  q.quarantined = s.stats.quarantined;
+  q.session_measurement = s.pcr.Hex();
+  q.last_measurement = s.stats.last_measurement;
+  q.nonce = std::move(nonce);
+  SignQuote(&q, signing_key_);
+  return q;
 }
 
 }  // namespace dlt

@@ -36,8 +36,10 @@
 #include <string>
 #include <vector>
 
+#include "src/core/integrity.h"
 #include "src/core/replayer.h"
 #include "src/core/template_store.h"
+#include "src/tee/attestation.h"
 #include "src/tee/invocation_ring.h"
 #include "src/tee/secure_world.h"
 
@@ -64,6 +66,12 @@ struct ReplayServiceConfig {
   // per-template interpreter fallback (default), or the pure interpreter
   // (differential-testing oracle / ablation baseline).
   bool use_compiled = true;
+  // Integrity policy (docs/architecture.md "Runtime integrity measurement"):
+  // when set, a device-health failure whose runtime measurement diverges from
+  // the template's golden hash quarantines the session immediately — rung 0
+  // of the recovery ladder, below the consecutive-failure threshold. Off by
+  // default: measurement is always recorded, enforcement is opt-in.
+  bool enforce_integrity = false;
 };
 
 // Per-session accounting, aggregated from each invoke's ReplayStats.
@@ -82,6 +90,11 @@ struct SessionStats {
   // and whether the session has been quarantined (terminal until closed).
   uint64_t consecutive_device_failures = 0;
   bool quarantined = false;
+  // Runtime integrity (integrity.h): hex measurement of the most recent
+  // invoke's final attempt, and how many invokes diverged from their
+  // template's golden hash over the session lifetime.
+  std::string last_measurement;
+  uint64_t measurement_mismatches = 0;
 };
 
 class ReplayService {
@@ -143,6 +156,9 @@ class ReplayService {
 
   // ---- Introspection ----
   Result<SessionStats> Stats(SessionId id) const;
+  // Signed attestation quote over the session's PCR chain, counters and the
+  // caller's freshness nonce (attestation.h). kNotFound for unknown sessions.
+  Result<AttestationQuote> Attest(SessionId id, std::string nonce) const;
   size_t open_sessions() const { return sessions_.size(); }
   // Sessions quarantined over the service lifetime (closed ones included).
   uint64_t quarantined_sessions() const { return quarantined_total_; }
@@ -161,6 +177,9 @@ class ReplayService {
     std::string driverlet;
     SessionStats stats;
     std::unique_ptr<InvocationRing> ring;  // lazily created by Ring()
+    // Session PCR: extended with every completed invoke's measurement, so the
+    // attestation quote commits to the whole execution history in order.
+    IntegrityChain pcr;
   };
   struct Pending {
     uint64_t id = 0;

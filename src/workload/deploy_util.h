@@ -7,6 +7,7 @@
 #define SRC_WORKLOAD_DEPLOY_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
@@ -81,6 +82,39 @@ inline std::vector<uint8_t> BuildTouchPackage() {
   Rpi3Testbed dev{TestbedOptions{}};
   Result<RecordCampaign> c = RecordTouchCampaign(&dev);
   return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+
+// The --seeds/--base-seed flag pair every seeded sweep driver accepts
+// (bench/conformance_sweep, bench/fault_matrix, `driverletc faultsweep` and
+// `driverletc check`): a contiguous range of |count| seeds starting at |base|.
+struct SeedRange {
+  int count = 4;
+  uint64_t base = 1;
+
+  bool valid() const { return count >= 1; }
+  std::vector<uint64_t> List() const {
+    std::vector<uint64_t> seeds;
+    if (count > 0) {
+      seeds.reserve(static_cast<size_t>(count));
+      for (int i = 0; i < count; ++i) {
+        seeds.push_back(base + static_cast<uint64_t>(i));
+      }
+    }
+    return seeds;
+  }
+};
+
+inline bool IsSeedRangeFlag(const char* flag) {
+  return std::strcmp(flag, "--seeds") == 0 || std::strcmp(flag, "--base-seed") == 0;
+}
+
+// Applies one flag/value pair; call only when IsSeedRangeFlag(flag) is true.
+inline void ApplySeedRangeFlag(SeedRange* r, const char* flag, const char* value) {
+  if (std::strcmp(flag, "--seeds") == 0) {
+    r->count = std::atoi(value);
+  } else if (std::strcmp(flag, "--base-seed") == 0) {
+    r->base = std::strtoull(value, nullptr, 0);
+  }
 }
 
 // Deterministic test payload: |len| bytes derived from |seed|.

@@ -158,5 +158,25 @@ TEST_P(TaintConsistencyTest, ConcreteMatchesSymbolicEval) {
 INSTANTIATE_TEST_SUITE_P(Seeds, TaintConsistencyTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
 
+// The shared --seeds/--base-seed parsing every bench and CLI sweep now uses.
+TEST(SeedRangeTest, ListEnumeratesFromBaseAndFlagsApply) {
+  SeedRange r;
+  EXPECT_TRUE(r.valid());
+  EXPECT_EQ(r.List(), (std::vector<uint64_t>{1, 2, 3, 4}));
+
+  EXPECT_TRUE(IsSeedRangeFlag("--seeds"));
+  EXPECT_TRUE(IsSeedRangeFlag("--base-seed"));
+  EXPECT_FALSE(IsSeedRangeFlag("--seed"));
+
+  ApplySeedRangeFlag(&r, "--seeds", "3");
+  ApplySeedRangeFlag(&r, "--base-seed", "100");
+  EXPECT_EQ(r.count, 3);
+  EXPECT_EQ(r.base, 100u);
+  EXPECT_EQ(r.List(), (std::vector<uint64_t>{100, 101, 102}));
+
+  ApplySeedRangeFlag(&r, "--seeds", "0");
+  EXPECT_FALSE(r.valid());
+}
+
 }  // namespace
 }  // namespace dlt

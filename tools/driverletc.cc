@@ -33,6 +33,19 @@
 //       files under DIR (default .). See docs/conformance.md.
 //   driverletc check --repro <file>
 //       Re-executes a shrunk repro file through the self-relative invariants.
+//   driverletc fuzz [--seconds S] [--iters N] [--seed K] [--out DIR] [--no-plant]
+//       Coverage-guided fuzz over serialized boundary programs against the
+//       replay service (session lifecycle, queued and ring invokes, fault
+//       arming, attestation). Violations are ddmin-shrunk and written as
+//       .repro files under DIR; unless --no-plant, a short regression phase
+//       then arms the planted ring wrap-around reap bug and fails the run if
+//       the fuzzer can no longer find and shrink it. See docs/fuzzing.md.
+//   driverletc fuzz --repro <file>
+//       Re-executes a shrunk boundary repro file.
+//   driverletc attest <pkg> [--nonce N] [--invokes K]
+//       Loads the package into a deployment TEE, drives K invokes through a
+//       session and prints + re-verifies the signed attestation quote over
+//       the session's measurement chain. See docs/architecture.md.
 //   driverletc fleet <pkg...> [--shards N] [--invokes K] [--no-steal]
 //       Stands up a multi-shard replay fleet (one Machine + TEE per shard,
 //       worker thread pool, work-stealing dispatch), registers every package
@@ -54,12 +67,14 @@
 #include <fstream>
 
 #include "src/check/conformance.h"
+#include "src/check/fuzz.h"
 #include "src/core/compiled_program.h"
 #include "src/core/executor.h"
 #include "src/core/replayer.h"
 #include "src/obs/chrome_trace.h"
 #include "src/obs/telemetry.h"
 #include "src/tee/replay_fleet.h"
+#include "src/workload/deploy_util.h"
 #include "src/workload/fault_campaign.h"
 #include "src/workload/record_campaigns.h"
 #include "src/workload/rpi3_testbed.h"
@@ -80,6 +95,10 @@ int Usage() {
                " [-o <matrix.json>]\n"
                "       driverletc check [--seeds N] [--base-seed S] [--out <dir>]\n"
                "       driverletc check --repro <file>\n"
+               "       driverletc fuzz [--seconds S] [--iters N] [--seed K] [--out <dir>]"
+               " [--no-plant]\n"
+               "       driverletc fuzz --repro <file>\n"
+               "       driverletc attest <pkg> [--nonce N] [--invokes K]\n"
                "       driverletc fleet <pkg...> [--shards N] [--invokes K] [--no-steal]\n"
                "       driverletc ring <pkg> [--count K] [--batch N[,N...]]\n");
   return 2;
@@ -360,15 +379,13 @@ int CmdCompile(int argc, char** argv) {
 // Sweeps fault planes x driverlets x seeds through the recovery ladder and
 // reports per-cell recovery rates (same engine as bench/fault_matrix).
 int CmdFaultSweep(int argc, char** argv) {
-  int num_seeds = 4;
-  uint64_t base_seed = 1;
+  SeedRange seeds;
   int ops = 6;
   const char* out = nullptr;
   for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
-      num_seeds = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--base-seed") == 0 && i + 1 < argc) {
-      base_seed = std::strtoull(argv[++i], nullptr, 0);
+    if (IsSeedRangeFlag(argv[i]) && i + 1 < argc) {
+      const char* flag = argv[i];
+      ApplySeedRangeFlag(&seeds, flag, argv[++i]);
     } else if (std::strcmp(argv[i], "--ops") == 0 && i + 1 < argc) {
       ops = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc) {
@@ -377,19 +394,16 @@ int CmdFaultSweep(int argc, char** argv) {
       return Usage();
     }
   }
-  if (num_seeds < 1 || ops < 1) {
+  if (!seeds.valid() || ops < 1) {
     return Usage();
   }
 
   FaultMatrixConfig cfg;
-  cfg.seeds.clear();
-  for (int i = 0; i < num_seeds; ++i) {
-    cfg.seeds.push_back(base_seed + static_cast<uint64_t>(i));
-  }
+  cfg.seeds = seeds.List();
   cfg.ops_per_cell = ops;
 
   std::printf("fault sweep: %d seeds x 3 planes x %zu driverlets, %d ops/cell\n",
-              num_seeds, cfg.driverlets.size(), ops);
+              seeds.count, cfg.driverlets.size(), ops);
   FaultMatrix m = RunFaultMatrix(cfg);
   PrintFaultMatrix(m, stdout);
 
@@ -430,32 +444,31 @@ int CmdCheckRepro(const char* path) {
 
 // Seeded conformance sweep; shrinks failures and writes repro files.
 int CmdCheck(int argc, char** argv) {
-  int num_seeds = 25;
-  uint64_t base_seed = 1;
+  SeedRange seeds;
+  seeds.count = 25;
   const char* out_dir = ".";
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
       return CmdCheckRepro(argv[++i]);
-    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
-      num_seeds = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--base-seed") == 0 && i + 1 < argc) {
-      base_seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (IsSeedRangeFlag(argv[i]) && i + 1 < argc) {
+      const char* flag = argv[i];
+      ApplySeedRangeFlag(&seeds, flag, argv[++i]);
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else {
       return Usage();
     }
   }
-  if (num_seeds < 1) {
+  if (!seeds.valid()) {
     return Usage();
   }
+  const int num_seeds = seeds.count;
 
   const std::vector<std::string> invariants = AllInvariants();
   std::printf("conformance sweep: %d seeds from %llu, %zu invariants each\n", num_seeds,
-              static_cast<unsigned long long>(base_seed), invariants.size());
+              static_cast<unsigned long long>(seeds.base), invariants.size());
   int failures = 0;
-  for (int i = 0; i < num_seeds; ++i) {
-    uint64_t seed = base_seed + static_cast<uint64_t>(i);
+  for (uint64_t seed : seeds.List()) {
     GeneratedCase g = GenerateCase(seed);
     ConformanceOutcome outcome = RunConformance(g, invariants);
     if (outcome.ok()) {
@@ -748,6 +761,168 @@ int CmdRing(int argc, char** argv) {
   return failures == 0 ? 0 : 1;
 }
 
+// Re-executes a shrunk boundary repro file (exit 0 = the bug is fixed).
+int CmdFuzzRepro(const char* path) {
+  Result<BoundaryRepro> repro = ReadBoundaryRepro(path);
+  if (!repro.ok()) {
+    std::fprintf(stderr, "cannot parse %s: %s\n", path, StatusName(repro.status()));
+    return 2;
+  }
+  std::printf("repro %s: %zu actions, recorded invariant '%s'\n", path,
+              repro->program.actions.size(), repro->invariant.c_str());
+  BoundaryRunResult r = RunBoundaryProgram(repro->program);
+  if (r.ok()) {
+    std::printf("PASS: every boundary invariant holds (the underlying bug is fixed)\n");
+    return 0;
+  }
+  std::printf("FAIL %-18s %s\n", r.invariant.c_str(), r.detail.c_str());
+  return 1;
+}
+
+void PrintFuzzStats(const BoundaryFuzzStats& st) {
+  std::printf("%d mutants run, corpus %zu programs, %zu coverage features\n", st.runs,
+              st.corpus_size, st.features);
+  std::printf("coverage curve:");
+  for (size_t v : st.coverage_curve) {
+    std::printf(" %zu", v);
+  }
+  std::printf("\n");
+  for (const BoundaryFinding& f : st.findings) {
+    std::printf("FAIL %-18s %s\n", f.invariant.c_str(), f.detail.c_str());
+    std::printf("  shrunk %zu -> %zu actions in %d steps\n", f.program.actions.size(),
+                f.shrunk.actions.size(), f.shrink_steps);
+    if (!f.repro_path.empty()) {
+      std::printf("  wrote %s\n", f.repro_path.c_str());
+    }
+  }
+}
+
+// Coverage-guided boundary fuzz: a clean campaign over the real service, then
+// (unless --no-plant) a short campaign with the planted ring wrap bug armed —
+// the regression guard that the fuzzer can still find and shrink a violation.
+int CmdFuzz(int argc, char** argv) {
+  BoundaryFuzzConfig cfg;
+  cfg.repro_dir = ".";
+  bool plant = true;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--repro") == 0 && i + 1 < argc) {
+      return CmdFuzzRepro(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      cfg.seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      cfg.iterations = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      cfg.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      cfg.repro_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-plant") == 0) {
+      plant = false;
+    } else {
+      return Usage();
+    }
+  }
+  if (cfg.seconds <= 0 && cfg.iterations <= 0) {
+    return Usage();
+  }
+
+  if (cfg.iterations > 0) {
+    std::printf("boundary fuzz: %d mutants, seed %llu\n", cfg.iterations,
+                static_cast<unsigned long long>(cfg.seed));
+  } else {
+    std::printf("boundary fuzz: %.1f s budget, seed %llu\n", cfg.seconds,
+                static_cast<unsigned long long>(cfg.seed));
+  }
+  BoundaryFuzzStats clean = RunBoundaryFuzz(cfg);
+  PrintFuzzStats(clean);
+  int rc = clean.findings.empty() ? 0 : 1;
+  if (rc == 0) {
+    std::printf("no boundary violations\n");
+  }
+
+  if (plant) {
+    std::printf("\nregression guard: planted ring wrap-around reap bug\n");
+    BoundaryFuzzConfig pcfg;
+    pcfg.seed = cfg.seed;
+    pcfg.iterations = 8;
+    pcfg.max_findings = 1;
+    pcfg.plant_ring_quirk = true;
+    pcfg.repro_dir = cfg.repro_dir;
+    BoundaryFuzzStats planted = RunBoundaryFuzz(pcfg);
+    bool found = false;
+    for (const BoundaryFinding& f : planted.findings) {
+      if (f.invariant != "ring-order") {
+        continue;
+      }
+      found = true;
+      std::printf("found: %s\n  shrunk %zu -> %zu actions in %d steps\n", f.detail.c_str(),
+                  f.program.actions.size(), f.shrunk.actions.size(), f.shrink_steps);
+      if (!f.repro_path.empty()) {
+        std::printf("  wrote %s\n", f.repro_path.c_str());
+      }
+    }
+    if (found) {
+      std::printf("planted bug found and shrunk -- the fuzzer still has teeth\n");
+    } else {
+      std::fprintf(stderr, "planted bug NOT found -- the fuzzer lost its teeth\n");
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+// Loads a package into a deployment TEE, drives a few invokes, and prints +
+// re-verifies the session's signed attestation quote.
+int CmdAttest(int argc, char** argv) {
+  const char* path = nullptr;
+  const char* nonce = "driverletc-nonce";
+  int invokes = 3;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--nonce") == 0 && i + 1 < argc) {
+      nonce = argv[++i];
+    } else if (std::strcmp(argv[i], "--invokes") == 0 && i + 1 < argc) {
+      invokes = std::atoi(argv[++i]);
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path == nullptr || invokes < 0) {
+    return Usage();
+  }
+  Result<std::vector<uint8_t>> data = ReadFile(path);
+  if (!data.ok()) {
+    std::fprintf(stderr, "cannot read %s\n", path);
+    return 1;
+  }
+  Deployment d = MakeDeployment(*data);
+  if (d.session == 0) {
+    return 1;
+  }
+  const std::string entry = d.service->store().templates(d.driverlet).front()->entry;
+  int failures = 0;
+  std::vector<uint8_t> buf, aux;
+  for (int i = 0; i < invokes; ++i) {
+    ReplayArgs args;
+    if (!FleetArgsFor(entry, i, &buf, &aux, &args)) {
+      std::fprintf(stderr, "no synthetic load for entry %s\n", entry.c_str());
+      return 1;
+    }
+    if (!d.service->Invoke(d.session, entry, args).ok()) {
+      ++failures;
+    }
+  }
+  Result<AttestationQuote> q = d.service->Attest(d.session, nonce);
+  if (!q.ok()) {
+    std::fprintf(stderr, "attest failed: %s\n", StatusName(q.status()));
+    return 1;
+  }
+  std::printf("%s", SerializeQuote(*q).c_str());
+  bool sig_ok = VerifyQuote(*q, kDeveloperKey);
+  std::printf("signature %s under the developer key\n", sig_ok ? "VERIFIED" : "INVALID");
+  return sig_ok && failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -756,6 +931,9 @@ int main(int argc, char** argv) {
   }
   if (argc >= 2 && std::strcmp(argv[1], "check") == 0) {
     return CmdCheck(argc, argv);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "fuzz") == 0) {
+    return CmdFuzz(argc, argv);
   }
   if (argc < 3) {
     return Usage();
@@ -783,6 +961,9 @@ int main(int argc, char** argv) {
   }
   if (std::strcmp(argv[1], "ring") == 0) {
     return CmdRing(argc, argv);
+  }
+  if (std::strcmp(argv[1], "attest") == 0) {
+    return CmdAttest(argc, argv);
   }
   return Usage();
 }
