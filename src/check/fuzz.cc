@@ -8,6 +8,10 @@
 #include <map>
 #include <memory>
 
+#include "src/check/template_gen.h"
+#include "src/core/package.h"
+#include "src/core/serialize_binary.h"
+#include "src/core/serialize_text.h"
 #include "src/dev/vc4/vc4_firmware.h"
 #include "src/drv/bcm_sdhost_driver.h"
 #include "src/fault/fault_injector.h"
@@ -37,7 +41,7 @@ constexpr OpName kOpNames[] = {
     {BoundaryOp::kProcess, "process"},   {BoundaryOp::kRingPush, "push"},
     {BoundaryOp::kDoorbell, "doorbell"}, {BoundaryOp::kRingPop, "pop"},
     {BoundaryOp::kAttest, "attest"},     {BoundaryOp::kFaultArm, "fault"},
-    {BoundaryOp::kFaultDisarm, "disarm"},
+    {BoundaryOp::kFaultDisarm, "disarm"}, {BoundaryOp::kRegisterPackage, "register"},
 };
 constexpr size_t kOpCount = sizeof(kOpNames) / sizeof(kOpNames[0]);
 
@@ -93,6 +97,94 @@ const std::vector<uint8_t>& SealedPackage(size_t cls) {
   return *pkgs[cls % 3];
 }
 
+// The register op's package corpus: two tiny generated templates under the
+// reserved driverlet name "fzz", built once per process. Generated templates
+// touch the gen device ids (DMA 0 + device 1), both TEE-mapped on the
+// deployment testbed, so the intact seal can actually register.
+const DriverletPackage& FzzPackage() {
+  static const DriverletPackage* pkg = [] {
+    auto* p = new DriverletPackage;
+    p->driverlet = "fzz";
+    for (uint64_t s = 0; s < 2; ++s) {
+      GenConfig gc;
+      gc.seed = 0x5a + s;
+      gc.min_blocks = 1;
+      gc.max_blocks = 2;
+      GeneratedCase c = GenerateCase(gc);
+      c.tpl.name = "fzz_" + std::to_string(s);
+      c.tpl.entry = "replay_fzz";
+      p->templates.push_back(std::move(c.tpl));
+    }
+    return p;
+  }();
+  return *pkg;
+}
+
+// Pre-seal serialized payload per wire framing — the bytes SealPackageRaw
+// wraps, and the mutation substrate for the re-sign class.
+const std::vector<uint8_t>& FzzPayload(PackageWire wire) {
+  static const std::vector<uint8_t>* payloads[3] = {nullptr, nullptr, nullptr};
+  size_t i = static_cast<size_t>(wire) % 3;
+  if (payloads[i] == nullptr) {
+    const DriverletPackage& pkg = FzzPackage();
+    switch (static_cast<PackageWire>(i)) {
+      case PackageWire::kV1Text: {
+        std::string text = TemplatesToText(pkg.templates);
+        payloads[i] = new std::vector<uint8_t>(text.begin(), text.end());
+        break;
+      }
+      case PackageWire::kV1Binary:
+        payloads[i] = new std::vector<uint8_t>(TemplatesToBinary(pkg.templates));
+        break;
+      default:
+        payloads[i] = new std::vector<uint8_t>(TemplatesToBinaryV2(pkg.templates));
+        break;
+    }
+  }
+  return *payloads[i];
+}
+
+const std::vector<uint8_t>& FzzSealed(PackageWire wire) {
+  static const std::vector<uint8_t>* sealed[3] = {nullptr, nullptr, nullptr};
+  size_t i = static_cast<size_t>(wire) % 3;
+  if (sealed[i] == nullptr) {
+    sealed[i] = new std::vector<uint8_t>(
+        SealPackageRaw("fzz", static_cast<PackageWire>(i), FzzPayload(wire), kDeveloperKey));
+  }
+  return *sealed[i];
+}
+
+// Deterministic mutant of the sealed "fzz" package. c%4 selects the class:
+//   0  intact seal — the only class RegisterDriverlet may accept;
+//   1  post-seal bit flips — HMAC breaks, the parser must answer kCorrupt;
+//   2  truncation — framing/HMAC failure, kCorrupt;
+//   3  payload mutated BEFORE sealing, then re-signed — a valid signature
+//      over a garbage interior, so the deserializers themselves are on trial.
+std::vector<uint8_t> MutantPackageBytes(uint64_t salt, PackageWire wire, uint64_t c) {
+  uint64_t m = c % 4;
+  FuzzRng rng{(salt * 131 + c) * 0x2545f4914f6cdd1dull + static_cast<uint64_t>(wire)};
+  std::vector<uint8_t> bytes;
+  if (m == 3) {
+    std::vector<uint8_t> payload = FzzPayload(wire);
+    size_t flips = 1 + rng.Next() % 8;
+    for (size_t f = 0; f < flips && !payload.empty(); ++f) {
+      payload[rng.Next() % payload.size()] ^= static_cast<uint8_t>(1u << (rng.Next() % 8));
+    }
+    bytes = SealPackageRaw("fzz", wire, payload, kDeveloperKey);
+  } else {
+    bytes = FzzSealed(wire);
+    if (m == 1) {
+      size_t flips = 1 + rng.Next() % 8;
+      for (size_t f = 0; f < flips && !bytes.empty(); ++f) {
+        bytes[rng.Next() % bytes.size()] ^= static_cast<uint8_t>(1u << (rng.Next() % 8));
+      }
+    } else if (m == 2) {
+      bytes.resize(rng.Next() % bytes.size());
+    }
+  }
+  return bytes;
+}
+
 const char* EntryOf(size_t cls) {
   switch (cls % 3) {
     case 0: return kMmcEntry;
@@ -123,6 +215,7 @@ class BoundaryExec {
     // the one-time record campaigns emit counters, and a run's feature set
     // must not depend on whether an earlier run already paid that cost.
     for (size_t cls = 0; cls < 3; ++cls) SealedPackage(cls);
+    for (size_t w = 0; w < 3; ++w) FzzSealed(static_cast<PackageWire>(w));
     Telemetry::Get().Enable();
     Telemetry::Get().Reset();
     EdgeCoverage::Get().Reset();
@@ -411,6 +504,44 @@ class BoundaryExec {
       }
       case BoundaryOp::kFaultDisarm: {
         injector_->Disarm();
+        break;
+      }
+      case BoundaryOp::kRegisterPackage: {
+        PackageWire wire = static_cast<PackageWire>(act.b % 3);
+        std::vector<uint8_t> bytes = MutantPackageBytes(act.a, wire, act.c);
+        size_t count_before = service_->store().template_count();
+        bool had_before = service_->store().HasDriverlet("fzz");
+        Result<std::string> name = service_->RegisterDriverlet(bytes.data(), bytes.size());
+        Status s = name.ok() ? Status::kOk : name.status();
+        // Per-op status contract, NOT CheckStatus: rejecting tampered bytes
+        // with kCorrupt (or an unmapped device with kPermissionDenied) is the
+        // correct answer here, while kBadState / kUnsupported still signal
+        // internal corruption.
+        switch (s) {
+          case Status::kOk:
+          case Status::kCorrupt:
+          case Status::kPermissionDenied:
+          case Status::kInvalidArg:
+            break;
+          default:
+            Fail("allowed-status", std::string("RegisterDriverlet returned ") + StatusName(s) +
+                                       " at action #" + std::to_string(idx));
+            break;
+        }
+        bool had_after = service_->store().HasDriverlet("fzz");
+        if (name.ok()) {
+          if (!had_after || *name != "fzz") {
+            Fail("register-atomic",
+                 "successful registration not visible in the store at action #" +
+                     std::to_string(idx));
+          }
+        } else if (had_after != had_before ||
+                   service_->store().template_count() != count_before) {
+          Fail("register-atomic",
+               "failed registration changed store state at action #" + std::to_string(idx));
+        }
+        line += std::string(" ") + StatusName(s) + " w=" + std::to_string(act.b % 3) +
+                " m=" + std::to_string(act.c % 4);
         break;
       }
     }
@@ -714,6 +845,27 @@ std::vector<BoundaryProgram> BuiltinBoundaryCorpus() {
     add(BoundaryOp::kSubmit, 0, 0, 7);
     add(BoundaryOp::kProcess, 0, 0, 0);
     add(BoundaryOp::kAttest, 0, 0, 1);
+    add(BoundaryOp::kClose, 0, 0, 0);
+    corpus.push_back(std::move(p));
+  }
+  // Register-boundary lifecycle: every wire framing intact, then each
+  // mutation class, interleaved with live mmc traffic to pin down that a
+  // rejected package never perturbs open sessions.
+  {
+    BoundaryProgram p;
+    auto add = [&p](BoundaryOp op, uint64_t a, uint64_t b, uint64_t c) {
+      p.actions.push_back(BoundaryAction{op, a, b, c});
+    };
+    add(BoundaryOp::kOpen, 0, 0, 0);
+    add(BoundaryOp::kRegisterPackage, 0, 0, 0);  // intact, v1 text
+    add(BoundaryOp::kRegisterPackage, 0, 1, 0);  // intact, v1 binary
+    add(BoundaryOp::kRegisterPackage, 0, 2, 0);  // intact, v2
+    add(BoundaryOp::kInvoke, 0, 0, 7);
+    add(BoundaryOp::kRegisterPackage, 1, 2, 1);  // post-seal bit flips
+    add(BoundaryOp::kRegisterPackage, 2, 2, 2);  // truncation
+    add(BoundaryOp::kRegisterPackage, 3, 1, 3);  // re-signed mutated v1 payload
+    add(BoundaryOp::kRegisterPackage, 4, 2, 3);  // re-signed mutated v2 payload
+    add(BoundaryOp::kInvoke, 0, 0, 7);
     add(BoundaryOp::kClose, 0, 0, 0);
     corpus.push_back(std::move(p));
   }

@@ -3,13 +3,20 @@
 // The unit of fuzzing is a *boundary program*: a serialized list of actions a
 // normal-world client can take against the TEE service boundary — session
 // open/close interleavings, direct and queued invokes, ring push / doorbell /
-// reap orderings, fault-plane arming and attestation requests. Each run
-// executes one program against a fresh deployment (Rpi3Testbed + ReplayService
-// hosting the sealed mmc/usb/camera packages) and asserts the boundary
-// invariants that must hold for EVERY program, not just the recorded ones:
+// reap orderings, fault-plane arming, attestation requests, and mutated
+// sealed-package bytes fed through RegisterDriverlet. Each run executes one
+// program against a fresh deployment (Rpi3Testbed + ReplayService hosting the
+// sealed mmc/usb/camera packages) and asserts the boundary invariants that
+// must hold for EVERY program, not just the recorded ones:
 //
 //   allowed-status     every API call returns a status from its contract
-//                      (kBadState / kCorrupt never escape the boundary)
+//                      (kBadState / kCorrupt never escape the boundary;
+//                      kRegisterPackage alone may see kCorrupt and
+//                      kPermissionDenied — rejecting tampered bytes and
+//                      unmapped devices IS its contract)
+//   register-atomic    a failed RegisterDriverlet leaves the template store
+//                      exactly as it was: no partially parsed driverlet, no
+//                      template-count drift, prior registrations intact
 //   ring-order         reaped completion seqs are strictly increasing
 //   ring-accounting    pushed >= drained >= reaped, all three monotonic
 //   quarantine-sticky  a quarantined session stays quarantined until closed
@@ -52,6 +59,13 @@ enum class BoundaryOp : uint8_t {
   kAttest,       // a: slot, c: nonce seed
   kFaultArm,     // a: plane, b: target driverlet class, c: plan seed
   kFaultDisarm,  // no operands
+  // Feeds deterministically mutated sealed-package bytes through
+  // RegisterDriverlet under the reserved driverlet name "fzz" (no kOpen path
+  // can reach it, so registration outcomes never perturb session behaviour).
+  // a: mutation salt, b: wire framing (0 v1-text, 1 v1-binary, 2 v2),
+  // c: mutation class (c%4: 0 intact seal, 1 post-seal bit flips,
+  //    2 truncation, 3 payload mutated pre-seal and re-signed) + seed.
+  kRegisterPackage,
 };
 
 struct BoundaryAction {

@@ -1,0 +1,122 @@
+#include "src/check/scale_corpus.h"
+
+#include <utility>
+
+#include "src/check/template_gen.h"
+
+namespace dlt {
+namespace {
+
+enum class Role { kEq, kRange, kMask, kResidual };
+
+Role RoleOf(size_t p) {
+  if (p == 1) {
+    return Role::kResidual;
+  }
+  if (p % 7 == 2) {
+    return Role::kRange;
+  }
+  if (p % 7 == 3) {
+    return Role::kMask;
+  }
+  return Role::kEq;
+}
+
+constexpr uint64_t kXorC = 0x5a5a5a5aull;
+constexpr uint64_t kFlagsMask = 0xffffff00ull;
+
+// Residual targets live above 2^32 so no eq row's key can collide.
+uint64_t ResidualSel(size_t k) { return (1ull << 32) + k; }
+uint64_t MaskWant(size_t p) { return (static_cast<uint64_t>(p) + 1) << 8; }
+
+Constraint RowConstraint(size_t k, size_t p) {
+  Constraint c;
+  switch (RoleOf(p)) {
+    case Role::kEq:
+      c.AddAtom(ConstraintAtom{Expr::Input("sel"), Cmp::kEq, Expr::Const(k)});
+      break;
+    case Role::kRange:
+      c.AddAtom(ConstraintAtom{Expr::Input("lvl"), Cmp::kGe, Expr::Const(p * 16)});
+      c.AddAtom(ConstraintAtom{Expr::Input("lvl"), Cmp::kLe, Expr::Const(p * 16 + 7)});
+      break;
+    case Role::kMask:
+      c.AddAtom(ConstraintAtom{
+          Expr::Binary(ExprOp::kAnd, Expr::Input("flags"), Expr::Const(kFlagsMask)), Cmp::kEq,
+          Expr::Const(MaskWant(p))});
+      break;
+    case Role::kResidual:
+      // Xor is outside the gate grammar on purpose: this row can only be
+      // reached through the slot's residual list.
+      c.AddAtom(ConstraintAtom{Expr::Binary(ExprOp::kXor, Expr::Input("sel"), Expr::Const(kXorC)),
+                               Cmp::kEq, Expr::Const(ResidualSel(k) ^ kXorC)});
+      break;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::string ScaleEntry(const ScaleCorpusConfig& cfg, size_t target) {
+  return "replay_scale_" + std::to_string(target % cfg.entries);
+}
+
+ScaleCorpus BuildScaleCorpus(const ScaleCorpusConfig& cfg) {
+  ScaleCorpus out;
+  out.cfg = cfg;
+  out.pkg.driverlet = kScaleDriverlet;
+
+  std::vector<InteractionTemplate> bases;
+  bases.reserve(cfg.base_bodies);
+  for (size_t i = 0; i < cfg.base_bodies; ++i) {
+    GenConfig gen;
+    gen.seed = cfg.seed + i;
+    gen.min_blocks = 1;
+    gen.max_blocks = 1;
+    GeneratedCase c = GenerateCase(gen);
+    bases.push_back(std::move(c.tpl));
+    out.base_scalars.push_back(std::move(c.scalars));
+  }
+
+  out.pkg.templates.reserve(cfg.templates);
+  for (size_t k = 0; k < cfg.templates; ++k) {
+    InteractionTemplate t = bases[k % bases.size()];
+    t.name = "scale_" + std::to_string(k);
+    t.entry = ScaleEntry(cfg, k);
+    t.params.push_back(ParamSpec{"sel", false});
+    t.params.push_back(ParamSpec{"lvl", false});
+    t.params.push_back(ParamSpec{"flags", false});
+    t.initial = RowConstraint(k, k / cfg.entries);
+    out.pkg.templates.push_back(std::move(t));
+  }
+  return out;
+}
+
+Bindings ScaleInvokeScalars(const ScaleCorpus& corpus, size_t target) {
+  Bindings b = corpus.base_scalars[target % corpus.base_scalars.size()];
+  size_t p = target / corpus.cfg.entries;
+  switch (RoleOf(p)) {
+    case Role::kEq:
+      b["sel"] = target;
+      b["lvl"] = 0xffffffffull;
+      b["flags"] = 1;
+      break;
+    case Role::kRange:
+      b["sel"] = ~0ull;
+      b["lvl"] = p * 16 + target % 8;
+      b["flags"] = 1;
+      break;
+    case Role::kMask:
+      b["sel"] = ~0ull;
+      b["lvl"] = 0xffffffffull;
+      b["flags"] = MaskWant(p) | 5;
+      break;
+    case Role::kResidual:
+      b["sel"] = ResidualSel(target);
+      b["lvl"] = 0xffffffffull;
+      b["flags"] = 1;
+      break;
+  }
+  return b;
+}
+
+}  // namespace dlt

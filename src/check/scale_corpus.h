@@ -1,0 +1,59 @@
+// Scale corpus: a deterministic production-shaped template population for
+// exercising the constraint-indexed selection path (ISSUE 9).
+//
+// The corpus models what a fleet actually stores — one driverlet with a
+// moderate number of entries, each entry covered by many templates whose
+// initial constraints partition the input space. Template bodies are tiny
+// TemplateGen cases (real event mixes, so compile/serialize paths see
+// realistic IR); the initial constraints are synthesized per row so that
+// every template is selectable by exactly one crafted invoke:
+//
+//   row p within a slot (p = k / entries):
+//     p == 1      residual  (sel ^ C) == W        xor defeats gate factoring
+//     p % 7 == 2  range     lvl in [16p, 16p+7]   disjoint windows per slot
+//     p % 7 == 3  mask      (flags & 0xffffff00) == (p+1)<<8
+//     otherwise   eq        sel == k              globally unique
+//
+// The mix forces the index to populate all three gate dimensions plus the
+// residual list, which is exactly the shape the O(log n) claim is made for:
+// an indexed probe touches the one matching bucket/segment plus the slot's
+// lone residual row, while a linear scan touches every row in the slot.
+#ifndef SRC_CHECK_SCALE_CORPUS_H_
+#define SRC_CHECK_SCALE_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/package.h"
+
+namespace dlt {
+
+inline constexpr const char kScaleDriverlet[] = "scale";
+
+struct ScaleCorpusConfig {
+  size_t templates = 1000;
+  size_t entries = 16;  // slots; rows per slot = templates / entries
+  uint64_t seed = 1;
+  size_t base_bodies = 4;  // distinct TemplateGen event bodies cycled across rows
+};
+
+struct ScaleCorpus {
+  ScaleCorpusConfig cfg;
+  DriverletPackage pkg;
+  // Per base body: the generated case's own scalar bindings (a, b). Every
+  // invoke carries them so the param-presence check passes for all rows.
+  std::vector<Bindings> base_scalars;
+};
+
+// Deterministic: same config, byte-identical corpus.
+ScaleCorpus BuildScaleCorpus(const ScaleCorpusConfig& cfg);
+
+// Entry name template |target| belongs to.
+std::string ScaleEntry(const ScaleCorpusConfig& cfg, size_t target);
+
+// Invoke bindings for which template |target| (and no other) matches.
+Bindings ScaleInvokeScalars(const ScaleCorpus& corpus, size_t target);
+
+}  // namespace dlt
+
+#endif  // SRC_CHECK_SCALE_CORPUS_H_

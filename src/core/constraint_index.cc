@@ -1,0 +1,404 @@
+#include "src/core/constraint_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace dlt {
+
+namespace {
+
+constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+
+// c cmp x  ≡  x mirror(cmp) c
+Cmp MirrorCmp(Cmp c) {
+  switch (c) {
+    case Cmp::kLt:
+      return Cmp::kGt;
+    case Cmp::kLe:
+      return Cmp::kGe;
+    case Cmp::kGt:
+      return Cmp::kLt;
+    case Cmp::kGe:
+      return Cmp::kLe;
+    default:
+      return c;  // Eq/Ne are symmetric
+  }
+}
+
+void EmitScalarGate(const std::string& field, Cmp cmp, uint64_t v,
+                    std::vector<ConstraintGate>* out) {
+  ConstraintGate g;
+  g.field = field;
+  switch (cmp) {
+    case Cmp::kEq:
+      g.kind = ConstraintGate::Kind::kEq;
+      g.eq = v;
+      break;
+    case Cmp::kLe:
+      g.kind = ConstraintGate::Kind::kRange;
+      g.lo = 0;
+      g.hi = v;
+      break;
+    case Cmp::kLt:
+      g.kind = ConstraintGate::Kind::kRange;
+      if (v == 0) {  // x < 0 over uint64: never true
+        g.lo = 1;
+        g.hi = 0;
+      } else {
+        g.lo = 0;
+        g.hi = v - 1;
+      }
+      break;
+    case Cmp::kGe:
+      g.kind = ConstraintGate::Kind::kRange;
+      g.lo = v;
+      g.hi = kU64Max;
+      break;
+    case Cmp::kGt:
+      g.kind = ConstraintGate::Kind::kRange;
+      if (v == kU64Max) {  // x > max: never true
+        g.lo = 1;
+        g.hi = 0;
+      } else {
+        g.lo = v + 1;
+        g.hi = kU64Max;
+      }
+      break;
+    case Cmp::kNe:
+      return;  // excludes one value out of 2^64 — not discriminating
+  }
+  out->push_back(std::move(g));
+}
+
+// Splits an And node into (input, const) children regardless of operand order.
+bool SplitMaskAnd(const Expr* e, std::string* field, uint64_t* mask) {
+  if (e == nullptr || e->op() != ExprOp::kAnd) {
+    return false;
+  }
+  const Expr* l = e->lhs().get();
+  const Expr* r = e->rhs().get();
+  if (l->is_input() && r->is_const()) {
+    *field = l->input_name();
+    *mask = r->constant();
+    return true;
+  }
+  if (l->is_const() && r->is_input()) {
+    *field = r->input_name();
+    *mask = l->constant();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<ConstraintGate> FactorGates(const Constraint& c) {
+  std::vector<ConstraintGate> out;
+  for (const ConstraintAtom& a : c.atoms()) {
+    const Expr* l = a.lhs.get();
+    const Expr* r = a.rhs.get();
+    if (l == nullptr || r == nullptr) {
+      continue;
+    }
+    if (l->is_input() && r->is_const()) {
+      EmitScalarGate(l->input_name(), a.cmp, r->constant(), &out);
+      continue;
+    }
+    if (l->is_const() && r->is_input()) {
+      EmitScalarGate(r->input_name(), MirrorCmp(a.cmp), l->constant(), &out);
+      continue;
+    }
+    if (a.cmp == Cmp::kEq) {
+      std::string field;
+      uint64_t mask = 0;
+      uint64_t want = 0;
+      bool got = false;
+      if (r->is_const() && SplitMaskAnd(l, &field, &mask)) {
+        want = r->constant();
+        got = true;
+      } else if (l->is_const() && SplitMaskAnd(r, &field, &mask)) {
+        want = l->constant();
+        got = true;
+      }
+      if (got) {
+        ConstraintGate g;
+        g.kind = ConstraintGate::Kind::kMask;
+        g.field = std::move(field);
+        g.mask = mask;
+        g.want = want;
+        out.push_back(std::move(g));
+      }
+    }
+  }
+  return out;
+}
+
+void EntryConstraintIndex::Build(const std::vector<const Constraint*>& initials) {
+  const size_t n = initials.size();
+  std::vector<std::vector<ConstraintGate>> gates(n);
+  for (size_t i = 0; i < n; ++i) {
+    gates[i] = FactorGates(*initials[i]);
+  }
+  // 0 = unassigned, 1 = claimed by a dimension, 2 = dropped (unsatisfiable).
+  std::vector<uint8_t> state(n, 0);
+
+  // Per-field candidate coverage for one gate kind. std::map keeps field
+  // choice deterministic (ties break to the lexicographically smallest).
+  auto best_field = [&](auto&& counts) -> std::string {
+    std::string best;
+    size_t best_n = 0;
+    for (const auto& [field, cnt] : counts) {
+      if (cnt > best_n) {
+        best = field;
+        best_n = cnt;
+      }
+    }
+    return best;
+  };
+
+  // ---- dimension 1: eq buckets on the most-covering field ----
+  {
+    std::map<std::string, size_t> counts;
+    for (size_t i = 0; i < n; ++i) {
+      std::map<std::string, bool> seen;
+      for (const ConstraintGate& g : gates[i]) {
+        if (g.kind == ConstraintGate::Kind::kEq && !seen[g.field]) {
+          seen[g.field] = true;
+          ++counts[g.field];
+        }
+      }
+    }
+    eq_field_ = best_field(counts);
+    if (!eq_field_.empty()) {
+      for (size_t i = 0; i < n; ++i) {
+        bool has = false;
+        bool contradicted = false;
+        uint64_t value = 0;
+        for (const ConstraintGate& g : gates[i]) {
+          if (g.kind != ConstraintGate::Kind::kEq || g.field != eq_field_) {
+            continue;
+          }
+          if (has && g.eq != value) {
+            contradicted = true;  // x == a && x == b, a != b: never selectable
+          }
+          has = true;
+          value = g.eq;
+        }
+        if (!has) {
+          continue;
+        }
+        if (contradicted) {
+          state[i] = 2;
+          ++dropped_;
+        } else {
+          state[i] = 1;
+          eq_buckets_[value].push_back(static_cast<uint32_t>(i));
+          ++indexed_candidates_;
+        }
+      }
+    }
+  }
+
+  // ---- dimension 2: interval list on the best range field among the rest ----
+  {
+    std::map<std::string, size_t> counts;
+    for (size_t i = 0; i < n; ++i) {
+      if (state[i] != 0) {
+        continue;
+      }
+      std::map<std::string, bool> seen;
+      for (const ConstraintGate& g : gates[i]) {
+        if (g.kind == ConstraintGate::Kind::kRange && !seen[g.field]) {
+          seen[g.field] = true;
+          ++counts[g.field];
+        }
+      }
+    }
+    range_field_ = best_field(counts);
+    if (!range_field_.empty()) {
+      struct Interval {
+        uint64_t lo, hi;
+        uint32_t cand;
+      };
+      std::vector<Interval> intervals;
+      std::vector<uint32_t> members;
+      for (size_t i = 0; i < n; ++i) {
+        if (state[i] != 0) {
+          continue;
+        }
+        bool has = false;
+        uint64_t lo = 0;
+        uint64_t hi = kU64Max;
+        for (const ConstraintGate& g : gates[i]) {
+          if (g.kind != ConstraintGate::Kind::kRange || g.field != range_field_) {
+            continue;
+          }
+          has = true;
+          lo = std::max(lo, g.lo);
+          hi = std::min(hi, g.hi);
+        }
+        if (!has) {
+          continue;
+        }
+        if (lo > hi) {  // intersected to empty: never selectable
+          state[i] = 2;
+          ++dropped_;
+          continue;
+        }
+        state[i] = 1;
+        intervals.push_back({lo, hi, static_cast<uint32_t>(i)});
+        members.push_back(static_cast<uint32_t>(i));
+      }
+      if (!intervals.empty()) {
+        // Elementary segments: between consecutive distinct endpoints the
+        // covering set is constant, so a binary search on the segment start
+        // answers a point query.
+        std::vector<uint64_t> bounds;
+        for (const Interval& iv : intervals) {
+          bounds.push_back(iv.lo);
+          if (iv.hi != kU64Max) {
+            bounds.push_back(iv.hi + 1);
+          }
+        }
+        std::sort(bounds.begin(), bounds.end());
+        bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+        std::vector<std::vector<uint32_t>> cands(bounds.size());
+        size_t total_refs = 0;
+        for (size_t k = 0; k < bounds.size(); ++k) {
+          uint64_t s = bounds[k];
+          for (const Interval& iv : intervals) {
+            if (iv.lo <= s && s <= iv.hi) {
+              cands[k].push_back(iv.cand);
+              ++total_refs;
+            }
+          }
+        }
+        // Heavily overlapping windows can blow segment storage up to O(n^2);
+        // past 8 refs per interval on average the dimension stops paying for
+        // itself — demote its members to the residual list instead.
+        if (total_refs > std::max<size_t>(64, 8 * intervals.size())) {
+          range_field_.clear();
+          for (uint32_t i : members) {
+            state[i] = 0;
+          }
+        } else {
+          seg_starts_ = std::move(bounds);
+          seg_cands_ = std::move(cands);
+          indexed_candidates_ += intervals.size();
+        }
+      } else {
+        range_field_.clear();
+      }
+    }
+  }
+
+  // ---- dimension 3: mask buckets on the best (field, mask) among the rest ----
+  {
+    std::map<std::pair<std::string, uint64_t>, size_t> counts;
+    for (size_t i = 0; i < n; ++i) {
+      if (state[i] != 0) {
+        continue;
+      }
+      std::map<std::pair<std::string, uint64_t>, bool> seen;
+      for (const ConstraintGate& g : gates[i]) {
+        std::pair<std::string, uint64_t> key(g.field, g.mask);
+        if (g.kind == ConstraintGate::Kind::kMask && !seen[key]) {
+          seen[key] = true;
+          ++counts[key];
+        }
+      }
+    }
+    std::pair<std::string, uint64_t> best;
+    size_t best_n = 0;
+    for (const auto& [key, cnt] : counts) {
+      if (cnt > best_n) {
+        best = key;
+        best_n = cnt;
+      }
+    }
+    if (best_n > 0) {
+      mask_field_ = best.first;
+      mask_ = best.second;
+      for (size_t i = 0; i < n; ++i) {
+        if (state[i] != 0) {
+          continue;
+        }
+        bool has = false;
+        bool contradicted = false;
+        uint64_t want = 0;
+        for (const ConstraintGate& g : gates[i]) {
+          if (g.kind != ConstraintGate::Kind::kMask || g.field != mask_field_ ||
+              g.mask != mask_) {
+            continue;
+          }
+          uint64_t w = g.want & mask_;  // bits outside the mask can never match
+          if ((g.want & ~mask_) != 0) {
+            contradicted = true;  // (x & m) == c with c ⊄ m: never true
+          }
+          if (has && w != want) {
+            contradicted = true;
+          }
+          has = true;
+          want = w;
+        }
+        if (!has) {
+          continue;
+        }
+        if (contradicted) {
+          state[i] = 2;
+          ++dropped_;
+        } else {
+          state[i] = 1;
+          mask_buckets_[want].push_back(static_cast<uint32_t>(i));
+          ++indexed_candidates_;
+        }
+      }
+    }
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i] == 0) {
+      residual_.push_back(static_cast<uint32_t>(i));
+    }
+  }
+}
+
+void EntryConstraintIndex::Probe(const Bindings& scalars, std::vector<uint32_t>* out) const {
+  out->clear();
+  if (!eq_field_.empty()) {
+    auto it = scalars.find(eq_field_);
+    if (it != scalars.end()) {
+      auto b = eq_buckets_.find(it->second);
+      if (b != eq_buckets_.end()) {
+        out->insert(out->end(), b->second.begin(), b->second.end());
+      }
+    }
+    // Field unbound: every eq-gated candidate would Eval to error (or be
+    // missing-param-skipped) under the linear scan — correctly pruned.
+  }
+  if (!range_field_.empty()) {
+    auto it = scalars.find(range_field_);
+    if (it != scalars.end() && !seg_starts_.empty() && it->second >= seg_starts_.front()) {
+      size_t k = static_cast<size_t>(
+          std::upper_bound(seg_starts_.begin(), seg_starts_.end(), it->second) -
+          seg_starts_.begin() - 1);
+      out->insert(out->end(), seg_cands_[k].begin(), seg_cands_[k].end());
+    }
+  }
+  if (!mask_field_.empty()) {
+    auto it = scalars.find(mask_field_);
+    if (it != scalars.end()) {
+      auto b = mask_buckets_.find(it->second & mask_);
+      if (b != mask_buckets_.end()) {
+        out->insert(out->end(), b->second.begin(), b->second.end());
+      }
+    }
+  }
+  out->insert(out->end(), residual_.begin(), residual_.end());
+  // The dimensions partition the candidates, so the concatenation is
+  // duplicate-free; sorting restores slot order for first-match-wins parity.
+  std::sort(out->begin(), out->end());
+}
+
+}  // namespace dlt

@@ -1,0 +1,61 @@
+// Disk-persisted compile cache (ISSUE 9 tentpole, part c).
+//
+// Lowering a template (CompileTemplate) is pure — the program depends only on
+// the template's content — so compiled programs can outlive the process:
+// TemplateStore keys this cache by TemplateContentHash (SHA-256 over the
+// canonical binary encoding, serialize_binary.h) and consults it before
+// recompiling, which turns fleet cold starts over large corpora into disk
+// reads. One file per program under the configured directory,
+// <hex-hash>.dcp, written via temp-file + rename so concurrent shard views
+// racing on the same template produce a whole file or none.
+//
+// A cache file is advisory: Load() re-validates magic, version and the hash
+// echo, and the decoder bounds-checks every index against the program's own
+// tables, so a stale/corrupt/truncated file is treated as a miss and the
+// template is simply recompiled. SrcEvent back references are encoded as
+// event-tree paths and re-resolved against the (hydrated) template at load,
+// keeping divergence reports and trace parity intact.
+#ifndef SRC_CORE_PROGRAM_CACHE_H_
+#define SRC_CORE_PROGRAM_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/compiled_program.h"
+#include "src/crypto/sha256.h"
+
+namespace dlt {
+
+// Flat byte encoding of a program (relative to its source template).
+// kInvalidArg when the program's src entries do not point into
+// |p.source->events| (never the case for CompileTemplate output).
+Result<std::vector<uint8_t>> SerializeProgram(const CompiledProgram& p);
+
+// Decodes and fully validates; |tpl| must be the hydrated source template the
+// program was compiled from. kCorrupt on any malformed input.
+Result<std::shared_ptr<const CompiledProgram>> DeserializeProgram(const uint8_t* data, size_t len,
+                                                                  const InteractionTemplate* tpl);
+
+class DiskProgramCache {
+ public:
+  explicit DiskProgramCache(std::string dir) : dir_(std::move(dir)) {}
+
+  // nullptr on miss (absent, unreadable, corrupt, or hash mismatch).
+  std::shared_ptr<const CompiledProgram> Load(const Sha256::Digest& content_hash,
+                                              const InteractionTemplate* tpl) const;
+
+  // Best-effort persist; false when the directory is unwritable.
+  bool Store(const Sha256::Digest& content_hash, const CompiledProgram& p) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string path_for(const Sha256::Digest& h) const;
+
+  std::string dir_;
+};
+
+}  // namespace dlt
+
+#endif  // SRC_CORE_PROGRAM_CACHE_H_

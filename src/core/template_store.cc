@@ -1,8 +1,11 @@
 #include "src/core/template_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
+#include "src/core/program_cache.h"
+#include "src/core/serialize_binary.h"
 #include "src/obs/telemetry.h"
 #include "src/soc/log.h"
 
@@ -57,43 +60,127 @@ Status TemplateStore::AddPackage(const uint8_t* data, size_t len,
 }
 
 Status TemplateStore::AddPackage(const DriverletPackage& pkg) {
-  if (pkg.driverlet.empty()) {
+  return AddPackageInternal(&pkg, nullptr);
+}
+
+Status TemplateStore::AddPackageFile(const std::string& path, std::string_view signing_key) {
+  DLT_ASSIGN_OR_RETURN(std::shared_ptr<const MappedPackage> pkg,
+                       MappedPackage::Map(path, signing_key));
+  return AddMappedPackage(std::move(pkg));
+}
+
+Status TemplateStore::AddMappedPackage(std::shared_ptr<const MappedPackage> pkg) {
+  if (pkg == nullptr) {
+    return Status::kInvalidArg;
+  }
+  return AddPackageInternal(nullptr, std::move(pkg));
+}
+
+Status TemplateStore::AddPackageInternal(const DriverletPackage* eager,
+                                         std::shared_ptr<const MappedPackage> mapped) {
+  const std::string& name = eager != nullptr ? eager->driverlet : mapped->driverlet();
+  if (name.empty()) {
     return Status::kInvalidArg;
   }
   std::lock_guard<std::mutex> swap(shared_->swap_mu);
   const Population* cur = population();
 
   // Copy-on-write: clone the owning storage, splice the new driverlet in, then
-  // rebuild the derived indexes against the clone's stable addresses.
+  // rebuild the derived indexes against the clone's stable addresses. Eagerly
+  // loaded driverlets are copied template-by-template (immutable since load);
+  // lazy driverlets are re-parsed from their mapped directories into *fresh
+  // unhydrated* states — copying a template whose body a concurrent reader is
+  // hydrating right now would race, and the directory parse is cheap.
   auto next = std::make_unique<Population>();
   if (cur != nullptr) {
-    next->by_driverlet = cur->by_driverlet;
     next->load_order = cur->load_order;
+    next->mapped = cur->mapped;
+    for (const auto& [dname, owned] : cur->by_driverlet) {
+      if (dname == name || cur->mapped.find(dname) != cur->mapped.end()) {
+        continue;
+      }
+      next->by_driverlet[dname] = owned;
+    }
   }
-  if (next->by_driverlet.count(pkg.driverlet) == 0) {
-    next->load_order.push_back(pkg.driverlet);
+  if (std::find(next->load_order.begin(), next->load_order.end(), name) ==
+      next->load_order.end()) {
+    next->load_order.push_back(name);
   }
-  next->by_driverlet[pkg.driverlet].assign(pkg.templates.begin(), pkg.templates.end());
+  if (eager != nullptr) {
+    next->mapped.erase(name);  // an eager re-registration drops the mapping
+    next->by_driverlet[name].assign(eager->templates.begin(), eager->templates.end());
+  } else {
+    next->mapped[name] = std::move(mapped);
+  }
 
-  for (const std::string& name : next->load_order) {
-    const std::deque<InteractionTemplate>& owned = next->by_driverlet.find(name)->second;
-    std::set<uint16_t>& devs = next->devices[name];
+  // Materialize lazy driverlets: directory headers + fresh hydration latches.
+  std::map<std::string, std::vector<LazyState*>, std::less<>> lazy_of;
+  for (const auto& [dname, mp] : next->mapped) {
+    std::deque<InteractionTemplate>& owned = next->by_driverlet[dname];
+    owned.clear();
+    const PackageView& view = mp->view();
+    std::vector<LazyState*>& states = lazy_of[dname];
+    states.reserve(view.size());
+    for (size_t i = 0; i < view.size(); ++i) {
+      owned.push_back(view.header(i));
+      next->lazy_states.emplace_back();
+      LazyState& ls = next->lazy_states.back();
+      ls.pkg = mp;
+      ls.tpl_index = static_cast<uint32_t>(i);
+      ls.tpl = &owned.back();
+      states.push_back(&ls);
+    }
+  }
+
+  for (const std::string& dname : next->load_order) {
+    std::deque<InteractionTemplate>& owned = next->by_driverlet.find(dname)->second;
+    std::set<uint16_t>& devs = next->devices[dname];
+    auto mapped_it = next->mapped.find(dname);
+    const PackageView* view =
+        mapped_it != next->mapped.end() ? &mapped_it->second->view() : nullptr;
+    std::vector<LazyState*>* states = view != nullptr ? &lazy_of[dname] : nullptr;
+    size_t ti = 0;
     for (const InteractionTemplate& t : owned) {
-      devs.insert(t.primary_device);
-      CollectDevices(t.events, &devs);
+      if (view != nullptr) {
+        // Seal-time directory devices: admission without hydrating any body.
+        const std::vector<uint16_t>& tdevs = view->devices(ti);
+        devs.insert(tdevs.begin(), tdevs.end());
+      } else {
+        devs.insert(t.primary_device);
+        CollectDevices(t.events, &devs);
+      }
 
-      auto [it, inserted] = next->index.try_emplace(std::make_pair(name, t.entry));
+      auto [it, inserted] = next->index.try_emplace(std::make_pair(dname, t.entry));
       EntrySlot& slot = it->second;
       if (inserted) {
-        slot.driverlet = name;
+        slot.driverlet = dname;
         slot.entry = t.entry;
         next->by_entry[t.entry].push_back(&slot);
       }
       Candidate c;
       c.tpl = &t;
       c.scalar_params = t.ScalarParams();  // precompiled: never rebuilt per invoke
+      if (states != nullptr) {
+        c.lazy = (*states)[ti];
+      }
       slot.candidates.push_back(std::move(c));
+      ++ti;
     }
+  }
+
+  // Constraint indexes: built per slot once the candidate set is final, for
+  // slots large enough that probing beats scanning.
+  for (auto& [key, slot] : next->index) {
+    if (slot.candidates.size() < EntryConstraintIndex::kMinIndexedCandidates) {
+      continue;
+    }
+    std::vector<const Constraint*> initials;
+    initials.reserve(slot.candidates.size());
+    for (const Candidate& c : slot.candidates) {
+      initials.push_back(&c.tpl->initial);
+    }
+    slot.index.Build(initials);
+    slot.indexed = slot.index.discriminating();
   }
 
   // Publish. Readers that pinned the old population keep using it; it stays
@@ -107,6 +194,11 @@ Status TemplateStore::AddPackage(const DriverletPackage& pkg) {
     cache_pop_ = population();
   }
   return Status::kOk;
+}
+
+void TemplateStore::set_compile_cache_dir(std::string dir) {
+  std::lock_guard<std::mutex> cfg(shared_->cfg_mu);
+  shared_->compile_cache_dir = std::move(dir);
 }
 
 bool TemplateStore::HasDriverlet(std::string_view driverlet) const {
@@ -127,6 +219,34 @@ size_t TemplateStore::template_count() const {
   size_t n = 0;
   for (const auto& [name, templates] : pop->by_driverlet) {
     n += templates.size();
+  }
+  return n;
+}
+
+size_t TemplateStore::lazy_template_count() const {
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return 0;
+  }
+  size_t n = 0;
+  for (const LazyState& ls : pop->lazy_states) {
+    if (!ls.hydrated.load(std::memory_order_acquire)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t TemplateStore::indexed_slot_count() const {
+  const Population* pop = population();
+  if (pop == nullptr) {
+    return 0;
+  }
+  size_t n = 0;
+  for (const auto& [key, slot] : pop->index) {
+    if (slot.indexed) {
+      ++n;
+    }
   }
   return n;
 }
@@ -206,9 +326,31 @@ const TemplateStore::EntrySlot* TemplateStore::FindSlot(const Population& pop,
   return nullptr;
 }
 
-Result<const InteractionTemplate*> TemplateStore::Select(
+Status TemplateStore::EnsureHydrated(const Candidate& c) const {
+  LazyState* ls = c.lazy;
+  if (ls == nullptr || ls->hydrated.load(std::memory_order_acquire)) {
+    return Status::kOk;
+  }
+  std::lock_guard<std::mutex> lk(ls->mu);
+  if (ls->hydrated.load(std::memory_order_relaxed)) {
+    return Status::kOk;
+  }
+  // Parse the event body out of the mapped bytes. The release store pairs
+  // with the acquire load above: a reader that sees hydrated==true also sees
+  // the fully written events vector.
+  DLT_RETURN_IF_ERROR(ls->pkg->view().HydrateEvents(ls->tpl_index, ls->tpl));
+  shared_->hydrated_templates.fetch_add(1, std::memory_order_relaxed);
+  Telemetry& t = Telemetry::Get();
+  if (t.enabled()) {
+    t.metrics().counter("replay.store.hydrate").Inc();
+  }
+  ls->hydrated.store(true, std::memory_order_release);
+  return Status::kOk;
+}
+
+Result<const TemplateStore::Candidate*> TemplateStore::SelectCandidate(
     std::string_view driverlet, std::string_view entry, const Bindings& scalars,
-    std::vector<const InteractionTemplate*>* rejected) const {
+    std::vector<const InteractionTemplate*>* rejected, bool use_index) const {
   const Population* pop = population();
   if (pop == nullptr) {
     return Status::kNoTemplate;
@@ -228,44 +370,63 @@ Result<const InteractionTemplate*> TemplateStore::Select(
     many = &it->second;
   }
 
-  const InteractionTemplate* selected = nullptr;
+  const Candidate* selected = nullptr;
   uint64_t scanned = 0;
+  // The reference per-candidate protocol, shared verbatim between the linear
+  // walk and the index probe subset so the two paths cannot drift.
+  auto consider = [&](const Candidate& c) {
+    ++scanned;
+    // A template whose param set this invoke does not provide cannot match;
+    // skip it and keep considering the rest (same-entry templates may bind
+    // different param sets).
+    bool have_all = true;
+    for (const std::string& p : c.scalar_params) {
+      if (scalars.find(p) == scalars.end()) {
+        have_all = false;
+        break;
+      }
+    }
+    if (!have_all) {
+      return;
+    }
+    Result<bool> ok = c.tpl->initial.Eval(scalars);
+    if (!ok.ok()) {
+      return;  // constraint over non-initial symbols cannot gate selection
+    }
+    if (!*ok) {
+      if (rejected != nullptr) {
+        rejected->push_back(c.tpl);
+      }
+      return;
+    }
+    if (selected != nullptr) {
+      // By construction no two templates cover the same inputs (the recorder
+      // merges same-path templates, §4.3); tolerate but warn.
+      DLT_LOG(kWarn) << "template selection ambiguous: " << selected->tpl->name << " vs "
+                     << c.tpl->name;
+      return;
+    }
+    selected = &c;
+  };
+
+  std::vector<uint32_t> probe;
   size_t slot_count = single != nullptr ? 1 : many->size();
   for (size_t si = 0; si < slot_count; ++si) {
     const EntrySlot* slot = single != nullptr ? single : (*many)[si];
-    for (const Candidate& c : slot->candidates) {
-      ++scanned;
-      // A template whose param set this invoke does not provide cannot match;
-      // skip it and keep considering the rest (same-entry templates may bind
-      // different param sets).
-      bool have_all = true;
-      for (const std::string& p : c.scalar_params) {
-        if (scalars.find(p) == scalars.end()) {
-          have_all = false;
-          break;
-        }
+    if (use_index && slot->indexed) {
+      slot->index.Probe(scalars, &probe);
+      shared_->index_probes.fetch_add(1, std::memory_order_relaxed);
+      Telemetry& t = Telemetry::Get();
+      if (t.enabled()) {
+        t.metrics().counter("replay.select_index.probe").Inc();
       }
-      if (!have_all) {
-        continue;
+      for (uint32_t idx : probe) {
+        consider(slot->candidates[idx]);
       }
-      Result<bool> ok = c.tpl->initial.Eval(scalars);
-      if (!ok.ok()) {
-        continue;  // constraint over non-initial symbols cannot gate selection
+    } else {
+      for (const Candidate& c : slot->candidates) {
+        consider(c);
       }
-      if (!*ok) {
-        if (rejected != nullptr) {
-          rejected->push_back(c.tpl);
-        }
-        continue;
-      }
-      if (selected != nullptr) {
-        // By construction no two templates cover the same inputs (the recorder
-        // merges same-path templates, §4.3); tolerate but warn.
-        DLT_LOG(kWarn) << "template selection ambiguous: " << selected->name << " vs "
-                       << c.tpl->name;
-        continue;
-      }
-      selected = c.tpl;
     }
   }
   shared_->candidates_scanned.fetch_add(scanned, std::memory_order_relaxed);
@@ -273,6 +434,26 @@ Result<const InteractionTemplate*> TemplateStore::Select(
     return Status::kNoTemplate;
   }
   return selected;
+}
+
+Result<const InteractionTemplate*> TemplateStore::Select(
+    std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+    std::vector<const InteractionTemplate*>* rejected) const {
+  // Rejected-candidate reporting needs the full scan: index-pruned candidates
+  // never evaluate, so the subset cannot reproduce the report.
+  DLT_ASSIGN_OR_RETURN(const Candidate* c, SelectCandidate(driverlet, entry, scalars, rejected,
+                                                           /*use_index=*/rejected == nullptr));
+  DLT_RETURN_IF_ERROR(EnsureHydrated(*c));
+  return c->tpl;
+}
+
+Result<const InteractionTemplate*> TemplateStore::SelectLinear(
+    std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+    std::vector<const InteractionTemplate*>* rejected) const {
+  DLT_ASSIGN_OR_RETURN(const Candidate* c, SelectCandidate(driverlet, entry, scalars, rejected,
+                                                           /*use_index=*/false));
+  DLT_RETURN_IF_ERROR(EnsureHydrated(*c));
+  return c->tpl;
 }
 
 void TemplateStore::FlushCachesLocked() const {
@@ -298,10 +479,28 @@ std::shared_ptr<const CompiledProgram> TemplateStore::ProgramFor(
     return it->second;
   }
   CountCache(&compile_cache_misses_, "replay.compile_cache.miss");
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> cfg(shared_->cfg_mu);
+    dir = shared_->compile_cache_dir;
+  }
+  Sha256::Digest hash{};
+  if (!dir.empty()) {
+    hash = TemplateContentHash(*tpl);
+    DiskProgramCache disk(dir);
+    if (std::shared_ptr<const CompiledProgram> p = disk.Load(hash, tpl)) {
+      CountCache(&disk_compile_hits_, "replay.compile_cache.disk_hit");
+      compile_cache_.emplace(tpl, p);
+      return p;
+    }
+  }
   Result<std::shared_ptr<const CompiledProgram>> prog = CompileTemplate(tpl);
   // Failed compiles are cached as null: a permanent interpreter-fallback
   // marker, re-probing would fail identically every invoke.
   std::shared_ptr<const CompiledProgram> p = prog.ok() ? *prog : nullptr;
+  if (p != nullptr && !dir.empty() && DiskProgramCache(dir).Store(hash, *p)) {
+    CountCache(&disk_compile_stores_, "replay.compile_cache.disk_store");
+  }
   compile_cache_.emplace(tpl, p);
   return p;
 }
@@ -322,18 +521,65 @@ Result<TemplateStore::CompiledSelection> TemplateStore::SelectCompiled(
     cache_pop_ = pop;
   }
 
+  // Constraint-indexed fast path: probe the slot's decision structure and
+  // touch only the surviving candidates — then hydrate + compile the winner
+  // alone. The signature cache is bypassed: at scale, materializing the
+  // param-filtered candidate list (and compiling all of it) per signature is
+  // exactly the cold-start cliff the index removes.
+  if (rejected == nullptr && !driverlet.empty()) {
+    const EntrySlot* slot = FindSlot(*pop, driverlet, entry);
+    if (slot == nullptr) {
+      return Status::kNoTemplate;
+    }
+    if (slot->indexed) {
+      DLT_ASSIGN_OR_RETURN(const Candidate* c,
+                           SelectCandidate(driverlet, entry, scalars, nullptr,
+                                           /*use_index=*/true));
+      DLT_RETURN_IF_ERROR(EnsureHydrated(*c));
+      CompiledSelection out;
+      out.tpl = c->tpl;
+      out.program = ProgramFor(c->tpl);
+      return out;
+    }
+  }
+
   // Cache key: (driverlet, entry, scalar-name signature). Values are excluded
   // on purpose — initial constraints gate on them, so they are evaluated per
-  // invoke against the cached candidate list instead.
-  std::string key;
-  key.reserve(driverlet.size() + entry.size() + scalars.size() * 8 + 2);
-  key.append(driverlet);
-  key.push_back('\x1e');
-  key.append(entry);
-  key.push_back('\x1e');
+  // invoke against the cached candidate list instead. The hit path builds the
+  // key on the stack and looks it up via the map's transparent comparator: no
+  // allocation per invoke (keys longer than the stack buffer — pathological
+  // signatures — fall back to one heap build).
+  char stack_key[192];
+  size_t key_len = 0;
+  auto append = [&](std::string_view s) {
+    if (key_len + s.size() <= sizeof(stack_key)) {
+      std::memcpy(stack_key + key_len, s.data(), s.size());
+    }
+    key_len += s.size();
+  };
+  append(driverlet);
+  append(std::string_view("\x1e", 1));
+  append(entry);
+  append(std::string_view("\x1e", 1));
   for (const auto& [name, value] : scalars) {
-    key.append(name);
-    key.push_back('\x1f');
+    append(name);
+    append(std::string_view("\x1f", 1));
+  }
+  std::string heap_key;
+  std::string_view key;
+  if (key_len <= sizeof(stack_key)) {
+    key = std::string_view(stack_key, key_len);
+  } else {
+    heap_key.reserve(key_len);
+    heap_key.append(driverlet);
+    heap_key.push_back('\x1e');
+    heap_key.append(entry);
+    heap_key.push_back('\x1e');
+    for (const auto& [name, value] : scalars) {
+      heap_key.append(name);
+      heap_key.push_back('\x1f');
+    }
+    key = heap_key;
   }
 
   const std::vector<CachedCandidate>* cands = nullptr;
@@ -374,6 +620,10 @@ Result<TemplateStore::CompiledSelection> TemplateStore::SelectCompiled(
         if (!have_all) {
           continue;
         }
+        // Compiling needs the event body; kCorrupt here means the mapped file
+        // decayed under us after its signature check (effectively unreachable:
+        // bodies were bounds-checked at Parse).
+        DLT_RETURN_IF_ERROR(EnsureHydrated(c));
         fresh.candidates.push_back(CachedCandidate{c.tpl, ProgramFor(c.tpl)});
       }
     }
@@ -388,7 +638,7 @@ Result<TemplateStore::CompiledSelection> TemplateStore::SelectCompiled(
       CountCache(&select_cache_evictions_, "replay.select_cache.evict");
     }
     fresh.tick = ++select_cache_tick_;
-    auto [ins, inserted] = select_cache_.emplace(std::move(key), std::move(fresh));
+    auto [ins, inserted] = select_cache_.emplace(std::string(key), std::move(fresh));
     cands = &ins->second.candidates;
   }
 

@@ -2,18 +2,36 @@
 // Holds interaction templates from *multiple* loaded driverlet packages keyed
 // by (driverlet, entry); loading a second package never evicts the first (the
 // old Replayer::LoadPackage overwrite semantics are gone). Selection resolves
-// an entry through the index and scans only that entry's candidates — cost is
-// independent of how many other packages/entries are loaded — using per-entry
-// candidate lists whose scalar-param requirements are precompiled at load time.
+// an entry through the index and probes only that entry's candidates — cost is
+// independent of how many other packages/entries are loaded — and, at scale,
+// only the *constraint-indexed subset* of the entry's own candidates: each
+// slot with enough candidates carries an EntryConstraintIndex (eq buckets /
+// interval list / mask buckets / residual, constraint_index.h) built at
+// registration, so per-invoke work stays O(log n) in the slot size with
+// selection semantics identical to the linear scan. SelectLinear keeps the
+// full scan as the differential oracle, and it also serves every call that
+// asks for rejected-candidate telemetry (pruned candidates never evaluate, so
+// the subset cannot reproduce that report).
+//
+// Packages load two ways (docs/template_store.md):
+//  - AddPackage: eager — templates deep-copied into the population.
+//  - AddPackageFile / AddMappedPackage: zero-copy — a sealed v2 package is
+//    mmap'ed, signature-verified, and only its *directory* is parsed; the
+//    population holds header-only templates whose event bodies hydrate on
+//    first selection (EnsureHydrated, double-checked per-template latch).
+//    Registration cost is O(directory), not O(corpus).
 //
 // Concurrency model (the multi-shard replay fleet, docs/replay_fleet.md):
 // the post-registration state — packages, the (driverlet, entry) index, the
-// precompiled candidate param lists — is an immutable Population published
-// RCU-style: AddPackage builds a fresh Population and swaps one atomic
-// pointer; readers load the pointer once per call and never take a lock.
-// Retired populations are kept alive for the store's lifetime (registration
-// is rare and populations are small), so template pointers handed out by
-// Select never dangle even across a concurrent package reload.
+// precompiled candidate param lists, the constraint indexes — is an immutable
+// Population published RCU-style: AddPackage builds a fresh Population and
+// swaps one atomic pointer; readers load the pointer once per call and never
+// take a lock. Retired populations are kept alive for the store's lifetime
+// (registration is rare), so template pointers handed out by Select never
+// dangle even across a concurrent package reload. Lazy event bodies are the
+// one mutation after publish; they are guarded by a per-template mutex +
+// acquire/release latch, and a rebuild re-parses lazy directories into fresh
+// unhydrated states instead of copying possibly-mid-hydration templates.
 //
 // A store created with the default constructor owns its population. Shards of
 // a replay fleet call NewShardView() instead: every view shares the same
@@ -34,6 +52,7 @@
 #include <vector>
 
 #include "src/core/compiled_program.h"
+#include "src/core/constraint_index.h"
 #include "src/core/interaction_template.h"
 #include "src/core/package.h"
 
@@ -41,6 +60,16 @@ namespace dlt {
 
 class TemplateStore {
  public:
+  // Hydration bookkeeping for one lazily-loaded template: which mapped package
+  // byte range its events come from and whether they have been parsed yet.
+  struct LazyState {
+    std::shared_ptr<const MappedPackage> pkg;
+    uint32_t tpl_index = 0;             // into pkg->view()
+    InteractionTemplate* tpl = nullptr;  // population storage this state fills
+    std::atomic<bool> hydrated{false};
+    std::mutex mu;  // serializes the one-time body parse
+  };
+
   // One selectable template plus everything precompiled about it at load time.
   struct Candidate {
     const InteractionTemplate* tpl = nullptr;
@@ -49,6 +78,8 @@ class TemplateStore {
     // (it cannot match), never an argument error — other same-entry templates
     // with a different param set remain eligible.
     std::vector<std::string> scalar_params;
+    // Non-null for lazily-loaded templates: hydrate before handing out tpl.
+    LazyState* lazy = nullptr;
   };
 
   TemplateStore();
@@ -68,17 +99,32 @@ class TemplateStore {
   // readers keep using the one they pinned at call entry.
   Status AddPackage(const DriverletPackage& pkg);
 
+  // Zero-copy registration: mmaps + verifies a sealed v2 package and registers
+  // its directory; event bodies hydrate on first selection. Same replacement
+  // semantics as AddPackage (an eager re-registration of the driverlet drops
+  // the mapping, and vice versa).
+  Status AddPackageFile(const std::string& path, std::string_view signing_key);
+  Status AddMappedPackage(std::shared_ptr<const MappedPackage> pkg);
+
+  // Arms the disk-persisted compile cache (program_cache.h): ProgramFor
+  // consults |dir| before compiling and persists fresh programs there. Set it
+  // before serving traffic; the directory must exist. Shared by every view.
+  void set_compile_cache_dir(std::string dir);
+
   bool HasDriverlet(std::string_view driverlet) const;
   size_t package_count() const;
   size_t template_count() const;
   std::vector<std::string> driverlets() const;
 
   // All templates in load order, optionally restricted to one driverlet.
+  // Lazily-loaded templates appear with their events still empty until first
+  // selection touches them.
   std::vector<const InteractionTemplate*> templates() const;
   std::vector<const InteractionTemplate*> templates(std::string_view driverlet) const;
 
   // Device ids referenced by a driverlet's templates (primary reset devices
-  // plus every register-touching event) — the service's admission check.
+  // plus every register-touching event) — the service's admission check. For
+  // mapped packages this comes from the seal-time directory, no hydration.
   std::vector<uint16_t> DevicesOf(std::string_view driverlet) const;
   // Same, computed from a not-yet-loaded package (admission before load).
   static std::vector<uint16_t> PackageDevices(const DriverletPackage& pkg);
@@ -87,8 +133,17 @@ class TemplateStore {
   // constraints accept |scalars|. An empty |driverlet| considers every package
   // that registered the entry. kNoTemplate when nothing covers the input.
   // When |rejected| is non-null, candidates whose constraints evaluated false
-  // are appended (telemetry); param-set mismatches are not reported there.
+  // are appended (telemetry) — such calls take the linear path so the report
+  // covers every candidate; param-set mismatches are not reported there.
   Result<const InteractionTemplate*> Select(
+      std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+      std::vector<const InteractionTemplate*>* rejected = nullptr) const;
+
+  // The full linear scan, bypassing every constraint index: the differential
+  // oracle for the indexed path (tests, bench digest parity) and the
+  // implementation behind rejected-candidate reporting. Selection semantics
+  // are the reference ones; candidates_scanned counts every candidate.
+  Result<const InteractionTemplate*> SelectLinear(
       std::string_view driverlet, std::string_view entry, const Bindings& scalars,
       std::vector<const InteractionTemplate*>* rejected = nullptr) const;
 
@@ -98,6 +153,21 @@ class TemplateStore {
   uint64_t candidates_scanned() const {
     return shared_->candidates_scanned.load(std::memory_order_relaxed);
   }
+  // Selections served through a constraint-index probe (vs a linear walk).
+  uint64_t index_probes() const {
+    return shared_->index_probes.load(std::memory_order_relaxed);
+  }
+  // Lazily-registered templates whose bodies have been parsed so far,
+  // cumulative across population rebuilds (a rebuild re-registers lazy
+  // driverlets unhydrated). Aggregated across views.
+  uint64_t hydrated_templates() const {
+    return shared_->hydrated_templates.load(std::memory_order_relaxed);
+  }
+  // Header-only templates in the current population (0 when everything loaded
+  // eagerly).
+  size_t lazy_template_count() const;
+  // Entry slots carrying a discriminating constraint index.
+  size_t indexed_slot_count() const;
 
   // Compiled selection result: the selected template plus its compiled program.
   // A null |program| means the template didn't compile (kUnsupported shapes);
@@ -114,7 +184,14 @@ class TemplateStore {
   //    lookups. Initial constraints are still evaluated per invoke — selection
   //    depends on scalar *values*, which are deliberately not part of the key.
   //  - a per-template compile cache (programs are immutable per load), which
-  //    also remembers failed compiles as interpreter-fallback markers.
+  //    also remembers failed compiles as interpreter-fallback markers, and is
+  //    optionally backed by the on-disk program cache (set_compile_cache_dir).
+  // Constraint-indexed slots take a faster route when no rejected report is
+  // requested: probe the index, evaluate the handful of survivors, hydrate and
+  // compile only the winner — the signature cache is skipped because probing
+  // is already cheaper than its lookup would be at scale, and materializing a
+  // 100k-candidate compiled list per signature is exactly the cold-start cost
+  // this store exists to avoid.
   // Semantics match Select exactly, including rejected reporting, ambiguity
   // warnings and candidates_scanned accounting. Both caches belong to this
   // view only and are guarded by a per-view mutex (uncontended when each
@@ -142,6 +219,13 @@ class TemplateStore {
   uint64_t compile_cache_evictions() const {
     return compile_cache_evictions_.load(std::memory_order_relaxed);
   }
+  // Disk program-cache traffic (0 unless set_compile_cache_dir was called).
+  uint64_t disk_compile_hits() const {
+    return disk_compile_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t disk_compile_stores() const {
+    return disk_compile_stores_.load(std::memory_order_relaxed);
+  }
 
   // True when |other| reads the same shared population (fleet shard views).
   bool SharesPopulationWith(const TemplateStore& other) const {
@@ -153,12 +237,17 @@ class TemplateStore {
     std::string driverlet;
     std::string entry;
     std::vector<Candidate> candidates;
+    // Discriminating-probe structure; built when the slot is large enough and
+    // at least one candidate factored into a usable gate.
+    EntryConstraintIndex index;
+    bool indexed = false;
   };
 
   // The frozen post-registration state. Built once per AddPackage, published
-  // via one atomic pointer swap, never mutated afterwards. Slot and template
-  // addresses are stable for the population's lifetime (node-based maps and
-  // deques), and populations live as long as the shared state does.
+  // via one atomic pointer swap, never mutated afterwards (lazy event bodies
+  // excepted — see LazyState). Slot and template addresses are stable for the
+  // population's lifetime (node-based maps and deques), and populations live
+  // as long as the shared state does.
   struct Population {
     // Owning storage; deque gives stable template addresses.
     std::map<std::string, std::deque<InteractionTemplate>, std::less<>> by_driverlet;
@@ -169,6 +258,12 @@ class TemplateStore {
     // Devices each driverlet's templates touch, collected at load time.
     std::map<std::string, std::set<uint16_t>, std::less<>> devices;
     std::vector<std::string> load_order;
+    // Zero-copy sources by driverlet; the shared_ptr keeps each mapping alive
+    // as long as any snapshot (or hydrated template pointer) references it.
+    std::map<std::string, std::shared_ptr<const MappedPackage>, std::less<>> mapped;
+    // Hydration latches for this snapshot's lazy templates (deque: stable
+    // addresses, LazyState is neither movable nor copyable).
+    std::deque<LazyState> lazy_states;
   };
 
   // State shared by every view of one population.
@@ -182,6 +277,12 @@ class TemplateStore {
     // this grows by one small snapshot per AddPackage call.
     std::vector<std::unique_ptr<const Population>> epochs;
     std::atomic<uint64_t> candidates_scanned{0};
+    std::atomic<uint64_t> index_probes{0};
+    std::atomic<uint64_t> hydrated_templates{0};
+    // Disk program-cache directory; empty = disabled. Guarded by cfg_mu (set
+    // once at deploy time, read on compile misses only).
+    std::mutex cfg_mu;
+    std::string compile_cache_dir;
   };
 
   // One param-filtered candidate with its program attached (selection cache).
@@ -201,7 +302,20 @@ class TemplateStore {
   }
   static const EntrySlot* FindSlot(const Population& pop, std::string_view driverlet,
                                    std::string_view entry);
-  // Compile-cache lookup; remembers failures as null programs. cache_mu_ held.
+  // The one selection loop: resolves slots, walks either the index probe set
+  // (use_index, for slots that have one) or the full candidate list, applies
+  // the param check / Eval / first-match-wins / ambiguity-warning protocol,
+  // and returns the winning candidate (kNoTemplate when none).
+  Result<const Candidate*> SelectCandidate(
+      std::string_view driverlet, std::string_view entry, const Bindings& scalars,
+      std::vector<const InteractionTemplate*>* rejected, bool use_index) const;
+  // Parses a lazy template's event body on first use (no-op for eager ones).
+  Status EnsureHydrated(const Candidate& c) const;
+  // Registration core: exactly one of |eager| / |mapped| is set.
+  Status AddPackageInternal(const DriverletPackage* eager,
+                            std::shared_ptr<const MappedPackage> mapped);
+  // Compile-cache lookup; remembers failures as null programs, consults the
+  // disk cache when configured. cache_mu_ held; |tpl| must be hydrated.
   std::shared_ptr<const CompiledProgram> ProgramFor(const InteractionTemplate* tpl) const;
   // Drops both caches, counting evictions. cache_mu_ held.
   void FlushCachesLocked() const;
@@ -224,6 +338,8 @@ class TemplateStore {
   mutable std::atomic<uint64_t> compile_cache_hits_{0};
   mutable std::atomic<uint64_t> compile_cache_misses_{0};
   mutable std::atomic<uint64_t> compile_cache_evictions_{0};
+  mutable std::atomic<uint64_t> disk_compile_hits_{0};
+  mutable std::atomic<uint64_t> disk_compile_stores_{0};
 };
 
 }  // namespace dlt

@@ -67,6 +67,20 @@ Result<std::string> ReplayFleet::RegisterDriverlet(const uint8_t* data, size_t l
   return name;
 }
 
+Result<std::string> ReplayFleet::RegisterDriverletFile(const std::string& path) {
+  // Map and signature-check once; every shard shares the one mapping. Each
+  // shard still re-runs admission against its own SecureWorld and installs its
+  // own replayer; the store-level publish is idempotent per driverlet.
+  DLT_ASSIGN_OR_RETURN(std::shared_ptr<const MappedPackage> pkg,
+                       MappedPackage::Map(path, signing_key_));
+  std::string name;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> exec(shard->exec_mu);
+    DLT_ASSIGN_OR_RETURN(name, shard->service->RegisterDriverlet(pkg));
+  }
+  return name;
+}
+
 void ReplayFleet::Start() {
   if (running_.exchange(true, std::memory_order_acq_rel)) {
     return;

@@ -109,6 +109,12 @@ class ReplayFleet {
   // one replayer per shard). Must precede OpenSession for that driverlet.
   Result<std::string> RegisterDriverlet(const uint8_t* data, size_t len);
 
+  // Zero-copy fleet registration: maps + verifies the sealed v2 package once,
+  // then registers the same mapping with every shard (the shared population
+  // holds header-only templates hydrated on first selection, so fleet-wide
+  // registration cost is O(directory), not O(shards x corpus)).
+  Result<std::string> RegisterDriverletFile(const std::string& path);
+
   // ---- Worker pool lifecycle ----
   // Start launches the worker threads; before Start (or after Stop), Submit
   // still queues and Invoke/ProcessQueuedInline execute on the caller's

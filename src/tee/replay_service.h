@@ -72,6 +72,11 @@ struct ReplayServiceConfig {
   // of the recovery ladder, below the consecutive-failure threshold. Off by
   // default: measurement is always recorded, enforcement is opt-in.
   bool enforce_integrity = false;
+  // Directory for the disk-persisted program cache (program_cache.h). When
+  // non-empty, the store loads previously compiled programs from here instead
+  // of recompiling and persists fresh ones — fleet restarts over large
+  // corpora skip the whole compile warm-up. Empty disables persistence.
+  std::string compile_cache_dir;
 };
 
 // Per-session accounting, aggregated from each invoke's ReplayStats.
@@ -112,6 +117,13 @@ class ReplayService {
   // kPermissionDenied when a referenced device is not mapped into the TEE.
   Result<std::string> RegisterDriverlet(const uint8_t* data, size_t len);
   Result<std::string> RegisterDriverlet(const DriverletPackage& pkg);
+  // Zero-copy registration of an already-mapped v2 package: admission runs
+  // against the seal-time device directory, the store registers header-only
+  // templates (event bodies hydrate on first selection), and no template is
+  // deep-copied up front. Same replayer wiring as the eager overloads.
+  Result<std::string> RegisterDriverlet(std::shared_ptr<const MappedPackage> pkg);
+  // Maps + verifies a sealed v2 package file, then registers it zero-copy.
+  Result<std::string> RegisterDriverletFile(const std::string& path);
 
   // ---- Session lifecycle ----
   // kNotFound for an unregistered driverlet; kBusy when the table is full.

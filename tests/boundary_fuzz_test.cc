@@ -105,6 +105,43 @@ TEST(BoundaryFuzzTest, BuiltinCorpusReplaysCleanAndDeterministically) {
   }
 }
 
+TEST(BoundaryFuzzTest, RegisterOpParsesAndReplaysDeterministically) {
+  // The package-registration op (ISSUE 9 satellite): every wire framing and
+  // mutation class runs clean under the per-op status contract and the
+  // register-atomic invariant, and the trace is bit-stable across runs.
+  Result<BoundaryProgram> p = ParseBoundaryProgram(
+      "driverlet-boundary v1\n"
+      "open 0\n"
+      "register 0 0 0\n"   // intact v1-text seal
+      "register 0 1 0\n"   // intact v1-binary seal
+      "register 0 2 0\n"   // intact v2 seal
+      "register 1 0 1\n"   // post-seal bit flips, per framing
+      "register 1 1 1\n"
+      "register 1 2 1\n"
+      "register 2 0 2\n"   // truncations
+      "register 2 2 2\n"
+      "register 3 1 3\n"   // payload mutated pre-seal, re-signed
+      "register 3 2 3\n"
+      "invoke 0 0 7\n"
+      "close 0\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->actions[1].op, BoundaryOp::kRegisterPackage);
+  const std::string text = BoundaryProgramToString(*p);
+  Result<BoundaryProgram> back = ParseBoundaryProgram(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(BoundaryProgramToString(*back), text);
+
+  BoundaryRunResult a = RunBoundaryProgram(*p);
+  BoundaryRunResult b = RunBoundaryProgram(*p);
+  EXPECT_TRUE(a.ok()) << a.invariant << ": " << a.detail;
+  EXPECT_EQ(a.actions_run, p->actions.size());
+  EXPECT_EQ(a.trace, b.trace);
+  // The mutated classes must actually reach the reject paths: at least one
+  // register line in the trace reports kCorrupt.
+  EXPECT_NE(a.trace.find("register"), std::string::npos);
+  EXPECT_NE(a.trace.find("corrupt"), std::string::npos) << a.trace;
+}
+
 // ---------------------------------------------------------------------------
 // The fuzz loop
 // ---------------------------------------------------------------------------

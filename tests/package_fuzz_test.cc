@@ -377,6 +377,41 @@ TEST(SerializePropertyTest, RawBinaryTruncationAtEveryOffsetErrors) {
   }
 }
 
+TEST(SerializePropertyTest, BinaryV2DirectoryTruncationAtEveryOffsetErrors) {
+  // The zero-copy directory parser must reject every proper prefix below the
+  // signature layer, just like the v1 stream parser.
+  std::vector<uint8_t> bin = TemplatesToBinaryV2(MakeRandomCampaign(17, 2));
+  ASSERT_TRUE(PackageView::Parse(bin.data(), bin.size()).ok());
+  for (size_t cut = 0; cut < bin.size(); ++cut) {
+    Result<PackageView> r = PackageView::Parse(bin.data(), cut);
+    ASSERT_FALSE(r.ok()) << "prefix of " << cut << " bytes accepted";
+    EXPECT_TRUE(r.status() == Status::kCorrupt || r.status() == Status::kInvalidArg)
+        << "prefix " << cut << ": " << StatusName(r.status());
+  }
+}
+
+TEST(SerializePropertyTest, BinaryV2CorruptionAtEveryByteNeverCrashes) {
+  // Parse + full hydration over every single-byte corruption: accept or
+  // reject, never crash — the body decoder is bounds-checked against the
+  // directory's byte ranges.
+  std::vector<uint8_t> bin = TemplatesToBinaryV2(MakeRandomCampaign(19, 1));
+  for (size_t pos = 0; pos < bin.size(); ++pos) {
+    std::vector<uint8_t> bad = bin;
+    bad[pos] ^= 0xff;
+    Result<PackageView> r = PackageView::Parse(bad.data(), bad.size());
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status() == Status::kCorrupt || r.status() == Status::kInvalidArg)
+          << "flip at " << pos << ": " << StatusName(r.status());
+      continue;
+    }
+    for (size_t i = 0; i < r->size(); ++i) {
+      InteractionTemplate t = r->header(i);
+      (void)r->HydrateEvents(i, &t);
+    }
+  }
+  SUCCEED();
+}
+
 TEST(SerializePropertyTest, RawBinaryCorruptionAtEveryByteNeverCrashes) {
   // A flipped byte may still decode to some valid template (e.g. inside a
   // string payload); the property is memory-safety plus a clean status.
