@@ -1,5 +1,5 @@
 // Seeded fault-matrix campaign: sweeps fault planes (MMIO / DMA / IRQ) ×
-// driverlets (MMC / USB / camera) × seeds and reports per-cell recovery rates
+// every registered driverlet class × seeds and reports per-cell recovery rates
 // through the full policy ladder (bounded retry with virtual-time backoff →
 // soft-reset escalation → session quarantine). Emits BENCH_fault_matrix.json.
 // Deterministic: two runs with the same flags produce byte-identical output.
@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   FaultMatrixConfig cfg;
   cfg.seeds = seed_range.List();
   cfg.ops_per_cell = ops;
+  cfg.driverlets = RegisteredDriverletClassNames();
 
   std::printf("fault matrix: %d seeds x 3 planes x %zu driverlets, %d ops/cell\n",
               num_seeds, cfg.driverlets.size(), ops);

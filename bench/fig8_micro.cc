@@ -2,6 +2,11 @@
 // interaction template (driverlet) vs the same request through the full driver
 // + block layer (native), for MMC and USB at every recorded granularity.
 // Uses google-benchmark with manual (simulated) time.
+//
+// On top of the paper's block-device comparison, a registry-driven sweep
+// (`Driverlet_<class>_Covered`) measures one covered invoke per registered
+// driverlet class — the class list comes from RegisteredDriverletClasses()
+// (src/workload/deploy_util.h), so a new class shows up here without edits.
 #include <benchmark/benchmark.h>
 
 #include "src/workload/deploy_util.h"
@@ -98,7 +103,51 @@ BENCHMARK(USB_Native_RD)->Apply(Sizes);
 BENCHMARK(USB_Driverlet_WR)->Apply(Sizes);
 BENCHMARK(USB_Native_WR)->Apply(Sizes);
 
+// One covered invoke per registered class through the full service path,
+// with per-class argument synthesis from the shared CoveredArgsFor table.
+void BenchClassCovered(benchmark::State& state, const DriverletClassSpec* spec) {
+  static std::map<std::string, std::vector<uint8_t>>* pkgs =
+      new std::map<std::string, std::vector<uint8_t>>;
+  auto it = pkgs->find(spec->name);
+  if (it == pkgs->end()) {
+    it = pkgs->emplace(spec->name, spec->build_package()).first;
+  }
+  Deployment d = MakeDeployment(it->second);
+  if (d.session == 0) {
+    state.SkipWithError("deployment failed");
+    return;
+  }
+  std::vector<uint8_t> buf, aux;
+  ReplayArgs args;
+  int round = 0;
+  for (auto _ : state) {
+    if (!CoveredArgsFor(spec->entry, round++, &buf, &aux, &args)) {
+      state.SkipWithError("no synthetic load for entry");
+      return;
+    }
+    uint64_t t0 = d.tb->clock().now_us();
+    Result<ReplayStats> r = d.service->Invoke(d.session, spec->entry, args);
+    uint64_t dt = d.tb->clock().now_us() - t0;
+    if (!r.ok()) {
+      state.SkipWithError(StatusName(r.status()));
+      return;
+    }
+    state.SetIterationTime(static_cast<double>(dt) / 1e6);
+  }
+}
+
 }  // namespace
+
+void RegisterClassSweepBenchmarks() {
+  for (const DriverletClassSpec& cls : RegisteredDriverletClasses()) {
+    benchmark::RegisterBenchmark(("Driverlet_" + std::string(cls.name) + "_Covered").c_str(),
+                                 [&cls](benchmark::State& s) { BenchClassCovered(s, &cls); })
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(4);
+  }
+}
+
 }  // namespace dlt
 
 // Custom main instead of BENCHMARK_MAIN(): when telemetry is armed
@@ -109,6 +158,7 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
   }
+  dlt::RegisterClassSweepBenchmarks();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   dlt::Telemetry& tel = dlt::Telemetry::Get();

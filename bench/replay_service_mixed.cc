@@ -17,14 +17,24 @@
 //     pre-ring path). Measures world switches per command, model time per
 //     command and the in-batch queue-wait p50/p99, and self-checks that every
 //     configuration produces digest-identical read-back bytes.
+//  4. Device-class profile: a database (MiniDb over the MMC driverlet),
+//     camera captures, fTPM PCR/quote/attest traffic and crypto-accelerator
+//     jobs interleave through four sessions of one service. Every byte a leg
+//     reads back folds into a per-leg FNV digest that must equal a sequential
+//     baseline running the identical per-leg schedule on a fresh machine —
+//     equal digests prove concurrent traffic from the other classes changed
+//     nothing (session isolation across all five template shapes).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "src/workload/deploy_util.h"
-#include "src/obs/telemetry.h"
+#include "src/tee/attestation.h"
 #include "src/tee/replay_service.h"
+#include "src/obs/telemetry.h"
+#include "src/workload/deploy_util.h"
+#include "src/workload/minidb.h"
+#include "src/workload/replay_block_device.h"
 
 namespace dlt {
 namespace {
@@ -206,6 +216,291 @@ AmortResult RunAmortConfig(const std::vector<uint8_t>& mmc_pkg, size_t batch, bo
   return res;
 }
 
+// ---- Phase 5: mixed device-class profile (db + camera + TPM attest + crypto) ----
+//
+// Each leg's step is a deterministic function of the round index alone, so the
+// same schedule can run interleaved through one service (four sessions, four
+// classes) and sequentially on a fresh machine per class; the per-leg digests
+// over every read-back byte must agree exactly.
+
+constexpr int kProfileRounds = 32;
+
+struct ProfileLeg {
+  uint64_t digest = kFnvSeed;
+  uint64_t failures = 0;
+  uint64_t invokes = 0;  // session-stat invokes (mixed run only)
+};
+
+void FoldU64(ProfileLeg* leg, uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; ++i) {
+    b[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  leg->digest = Fnv1a(leg->digest, b, sizeof b);
+}
+
+// Insert/lookup/update/scan mix against MiniDb on the MMC driverlet; folds
+// every looked-up payload.
+void DbProfileStep(MiniDb* db, int round, ProfileLeg* leg) {
+  uint64_t key = 5000 + static_cast<uint64_t>(round);
+  std::vector<uint8_t> payload = PatternBuf(120, 0x9a00 + static_cast<uint64_t>(round));
+  if (!Ok(db->Insert(key, payload.data(), payload.size()))) {
+    ++leg->failures;
+  }
+  Result<std::vector<uint8_t>> got = db->Lookup(key);
+  if (!got.ok()) {
+    ++leg->failures;
+  } else {
+    leg->digest = Fnv1a(leg->digest, got->data(), got->size());
+  }
+  if (round >= 4 && (round % 4) == 0) {
+    uint64_t old_key = key - 4;
+    std::vector<uint8_t> upd = PatternBuf(64, 0x9b00 + static_cast<uint64_t>(round));
+    if (!Ok(db->Update(old_key, upd.data(), upd.size()))) {
+      ++leg->failures;
+    }
+    Result<std::vector<uint8_t>> back = db->Lookup(old_key);
+    if (!back.ok()) {
+      ++leg->failures;
+    } else {
+      leg->digest = Fnv1a(leg->digest, back->data(), back->size());
+    }
+  }
+  if ((round % 8) == 7) {
+    Result<size_t> n = db->Scan(5000, key);
+    if (!n.ok()) {
+      ++leg->failures;
+    } else {
+      FoldU64(leg, *n);
+    }
+    if (!Ok(db->Commit())) {
+      ++leg->failures;
+    }
+  }
+}
+
+// One 720p capture; folds the reported image size and the frame bytes.
+void CameraProfileStep(ReplayService* svc, SessionId sid, ProfileLeg* leg) {
+  std::vector<uint8_t> buf(Vc4Firmware::FrameBytes(1440) + 4096, 0);
+  std::vector<uint8_t> img_size(4, 0);
+  ReplayArgs args;
+  args.scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", buf.size()}};
+  args.buffers["buf"] = BufferView{buf.data(), buf.size()};
+  args.buffers["img_size"] = BufferView{img_size.data(), img_size.size()};
+  if (!svc->Invoke(sid, kCameraEntry, args).ok()) {
+    ++leg->failures;
+    return;
+  }
+  size_t n = static_cast<size_t>(img_size[0]) | static_cast<size_t>(img_size[1]) << 8 |
+             static_cast<size_t>(img_size[2]) << 16 | static_cast<size_t>(img_size[3]) << 24;
+  if (n > buf.size()) {
+    n = buf.size();
+  }
+  leg->digest = Fnv1a(leg->digest, img_size.data(), img_size.size());
+  leg->digest = Fnv1a(leg->digest, buf.data(), n);
+}
+
+// PCR extend + read + get-random every round; quote + service attest every
+// 4th. The DRBG and PCR bank are device NV state, so the byte streams are a
+// pure function of this session's command order.
+void FtpmProfileStep(ReplayService* svc, SessionId sid, int round, ProfileLeg* leg) {
+  std::vector<uint8_t> rsp(kFtpmMaxRandom, 0);
+  auto exec = [&](uint64_t ord, uint64_t arg, const std::vector<uint8_t>& req) {
+    std::memset(rsp.data(), 0, rsp.size());
+    ReplayArgs args;
+    args.scalars = {{"ord", ord}, {"arg", arg}};
+    args.ro_buffers["req"] = ConstBufferView{req.data(), req.size()};
+    args.buffers["rsp"] = BufferView{rsp.data(), rsp.size()};
+    return svc->Invoke(sid, kFtpmEntry, args);
+  };
+  uint64_t pcr = static_cast<uint64_t>(round) % kFtpmPcrCount;
+  std::vector<uint8_t> digest = PatternBuf(kFtpmPcrBytes, 0x7a00 + static_cast<uint64_t>(round));
+  if (!exec(kFtpmOrdPcrExtend, pcr, digest).ok()) {
+    ++leg->failures;
+  }
+  if (!exec(kFtpmOrdPcrRead, pcr, digest).ok()) {
+    ++leg->failures;
+  } else {
+    leg->digest = Fnv1a(leg->digest, rsp.data(), kFtpmPcrBytes);
+  }
+  uint64_t nbytes = 32 + static_cast<uint64_t>(round % 8) * 32;
+  if (!exec(kFtpmOrdGetRandom, nbytes, digest).ok()) {
+    ++leg->failures;
+  } else {
+    leg->digest = Fnv1a(leg->digest, rsp.data(), nbytes);
+  }
+  if ((round % 4) == 3) {
+    std::vector<uint8_t> nonce = PatternBuf(kFtpmPcrBytes, 0x7b00 + static_cast<uint64_t>(round));
+    if (!exec(kFtpmOrdQuote, 0x3, nonce).ok()) {
+      ++leg->failures;
+    } else {
+      leg->digest = Fnv1a(leg->digest, rsp.data(), 48);  // nonce + PCR binding
+    }
+    // Service-level attestation rides along: the session PCR chain is a pure
+    // function of this session's completed invokes, so it digests stably too.
+    Result<AttestationQuote> q = svc->Attest(sid, "mix" + std::to_string(round));
+    if (!q.ok() || !VerifyQuote(*q, kDeveloperKey)) {
+      ++leg->failures;
+    } else {
+      leg->digest = Fnv1a(
+          leg->digest, reinterpret_cast<const uint8_t*>(q->session_measurement.data()),
+          q->session_measurement.size());
+      FoldU64(leg, q->invokes);
+    }
+  }
+}
+
+// Encrypt → decrypt round trip at a rotating covered length; digest job every
+// 3rd round. Ciphertext folds in (deterministic keystream), and a silent
+// plaintext mismatch counts as a failure just like in the fault matrix.
+void CryptoProfileStep(ReplayService* svc, SessionId sid, int round, ProfileLeg* leg) {
+  uint64_t key = 0xc0ffee00 + static_cast<uint64_t>(round % 16);
+  size_t len = kCryptoChunkBytes * (1 + static_cast<size_t>(round % 4));
+  std::vector<uint8_t> pt = PatternBuf(len, 0x5e00 + static_cast<uint64_t>(round));
+  std::vector<uint8_t> ct(len, 0);
+  ReplayArgs eargs;
+  eargs.scalars = {{"op", kCaOpEncrypt}, {"key", key}, {"len", len}};
+  eargs.ro_buffers["buf"] = ConstBufferView{pt.data(), pt.size()};
+  eargs.buffers["out"] = BufferView{ct.data(), ct.size()};
+  if (!svc->Invoke(sid, kCryptoaccEntry, eargs).ok()) {
+    ++leg->failures;
+    return;
+  }
+  leg->digest = Fnv1a(leg->digest, ct.data(), ct.size());
+  std::vector<uint8_t> rt(len, 0);
+  ReplayArgs dargs;
+  dargs.scalars = {{"op", kCaOpDecrypt}, {"key", key}, {"len", len}};
+  dargs.ro_buffers["buf"] = ConstBufferView{ct.data(), ct.size()};
+  dargs.buffers["out"] = BufferView{rt.data(), rt.size()};
+  if (!svc->Invoke(sid, kCryptoaccEntry, dargs).ok()) {
+    ++leg->failures;
+    return;
+  }
+  if (rt != pt) {
+    ++leg->failures;
+  }
+  if ((round % 3) == 0) {
+    std::vector<uint8_t> out(kCaDigestBytes, 0);
+    ReplayArgs gargs;
+    gargs.scalars = {{"op", kCaOpDigest}, {"key", key}, {"len", kCryptoChunkBytes}};
+    gargs.ro_buffers["buf"] = ConstBufferView{pt.data(), kCryptoChunkBytes};
+    gargs.buffers["out"] = BufferView{out.data(), out.size()};
+    if (!svc->Invoke(sid, kCryptoaccEntry, gargs).ok()) {
+      ++leg->failures;
+    } else {
+      leg->digest = Fnv1a(leg->digest, out.data(), out.size());
+    }
+  }
+}
+
+struct ProfileRun {
+  ProfileLeg db, camera, ftpm, crypto;
+  double simulated_s = 0;
+};
+
+ProfileRun RunMixedProfile(const std::vector<uint8_t>& mmc_pkg,
+                           const std::vector<uint8_t>& cam_pkg,
+                           const std::vector<uint8_t>& ftpm_pkg,
+                           const std::vector<uint8_t>& ca_pkg) {
+  ProfileRun run;
+  TestbedOptions opts;
+  opts.secure_io = true;
+  opts.probe_drivers = false;
+  Rpi3Testbed tb{opts};
+  ReplayServiceConfig cfg;
+  cfg.max_sessions = 8;
+  ReplayService svc(&tb.tee(), kDeveloperKey, cfg);
+  for (const std::vector<uint8_t>* pkg : {&mmc_pkg, &cam_pkg, &ftpm_pkg, &ca_pkg}) {
+    if (!svc.RegisterDriverlet(pkg->data(), pkg->size()).ok()) {
+      run.db.failures = run.camera.failures = run.ftpm.failures = run.crypto.failures = 1;
+      return run;
+    }
+  }
+  Result<SessionId> db_sid = svc.OpenSession("mmc");
+  Result<SessionId> cam_sid = svc.OpenSession("camera");
+  Result<SessionId> tpm_sid = svc.OpenSession("ftpm");
+  Result<SessionId> ca_sid = svc.OpenSession("cryptoacc");
+  if (!db_sid.ok() || !cam_sid.ok() || !tpm_sid.ok() || !ca_sid.ok()) {
+    run.db.failures = run.camera.failures = run.ftpm.failures = run.crypto.failures = 1;
+    return run;
+  }
+  ReplayBlockDevice bdev(&svc, *db_sid, kMmcEntry);
+  MiniDb db(&bdev);
+  if (!Ok(db.Open())) {
+    ++run.db.failures;
+  }
+  uint64_t t0 = tb.clock().now_us();
+  for (int round = 0; round < kProfileRounds; ++round) {
+    DbProfileStep(&db, round, &run.db);
+    CryptoProfileStep(&svc, *ca_sid, round, &run.crypto);
+    FtpmProfileStep(&svc, *tpm_sid, round, &run.ftpm);
+    if ((round % 4) == 0) {
+      CameraProfileStep(&svc, *cam_sid, &run.camera);
+    }
+  }
+  if (!Ok(db.Commit())) {
+    ++run.db.failures;
+  }
+  run.simulated_s = static_cast<double>(tb.clock().now_us() - t0) / 1e6;
+  ProfileLeg* legs[] = {&run.db, &run.camera, &run.ftpm, &run.crypto};
+  SessionId sids[] = {*db_sid, *cam_sid, *tpm_sid, *ca_sid};
+  for (int i = 0; i < 4; ++i) {
+    Result<SessionStats> st = svc.Stats(sids[i]);
+    if (st.ok()) {
+      legs[i]->invokes = st->invokes;
+    }
+  }
+  return run;
+}
+
+// The same per-leg schedule, alone on a fresh machine: the isolation baseline.
+ProfileLeg RunSequentialLeg(char which, const std::vector<uint8_t>& pkg) {
+  ProfileLeg leg;
+  TestbedOptions opts;
+  opts.secure_io = true;
+  opts.probe_drivers = false;
+  Rpi3Testbed tb{opts};
+  ReplayServiceConfig cfg;
+  ReplayService svc(&tb.tee(), kDeveloperKey, cfg);
+  if (!svc.RegisterDriverlet(pkg.data(), pkg.size()).ok()) {
+    leg.failures = 1;
+    return leg;
+  }
+  const char* name = which == 'd'   ? "mmc"
+                     : which == 'c' ? "camera"
+                     : which == 't' ? "ftpm"
+                                    : "cryptoacc";
+  Result<SessionId> sid = svc.OpenSession(name);
+  if (!sid.ok()) {
+    leg.failures = 1;
+    return leg;
+  }
+  if (which == 'd') {
+    ReplayBlockDevice bdev(&svc, *sid, kMmcEntry);
+    MiniDb db(&bdev);
+    if (!Ok(db.Open())) {
+      ++leg.failures;
+    }
+    for (int round = 0; round < kProfileRounds; ++round) {
+      DbProfileStep(&db, round, &leg);
+    }
+    if (!Ok(db.Commit())) {
+      ++leg.failures;
+    }
+    return leg;
+  }
+  for (int round = 0; round < kProfileRounds; ++round) {
+    if (which == 'c' && (round % 4) == 0) {
+      CameraProfileStep(&svc, *sid, &leg);
+    } else if (which == 't') {
+      FtpmProfileStep(&svc, *sid, round, &leg);
+    } else if (which == 'a') {
+      CryptoProfileStep(&svc, *sid, round, &leg);
+    }
+  }
+  return leg;
+}
+
 }  // namespace
 }  // namespace dlt
 
@@ -252,8 +547,10 @@ int main(int argc, char** argv) {
   std::vector<uint8_t> cam_pkg = BuildCameraPackage();
   std::vector<uint8_t> disp_pkg = BuildDisplayPackage();
   std::vector<uint8_t> touch_pkg = BuildTouchPackage();
+  std::vector<uint8_t> ftpm_pkg = BuildFtpmPackage();
+  std::vector<uint8_t> ca_pkg = BuildCryptoaccPackage();
   if (mmc_pkg.empty() || usb_pkg.empty() || cam_pkg.empty() || disp_pkg.empty() ||
-      touch_pkg.empty()) {
+      touch_pkg.empty() || ftpm_pkg.empty() || ca_pkg.empty()) {
     std::fprintf(stderr, "record campaigns failed\n");
     return 1;
   }
@@ -430,6 +727,40 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "amortization: read-back digests diverge across batch sizes\n");
   }
 
+  // ---- Phase 5: mixed device-class profile vs sequential baselines ----
+  std::printf("\ndevice-class profile (db + camera + TPM attest + crypto), %d rounds:\n",
+              kProfileRounds);
+  ProfileRun mix = RunMixedProfile(mmc_pkg, cam_pkg, ftpm_pkg, ca_pkg);
+  struct LegRow {
+    const char* name;
+    char tag;
+    const std::vector<uint8_t>* pkg;
+    const ProfileLeg* mixed;
+    ProfileLeg sequential;
+  } legs[] = {{"db", 'd', &mmc_pkg, &mix.db, {}},
+              {"camera", 'c', &cam_pkg, &mix.camera, {}},
+              {"ftpm", 't', &ftpm_pkg, &mix.ftpm, {}},
+              {"cryptoacc", 'a', &ca_pkg, &mix.crypto, {}}};
+  bool profile_match = true;
+  uint64_t profile_failures = 0;
+  for (LegRow& l : legs) {
+    l.sequential = RunSequentialLeg(l.tag, *l.pkg);
+    bool match = l.mixed->digest == l.sequential.digest;
+    profile_match &= match;
+    profile_failures += l.mixed->failures + l.sequential.failures;
+    std::printf("  %-9s invokes=%-4llu digest=%016llx sequential=%016llx %s\n", l.name,
+                static_cast<unsigned long long>(l.mixed->invokes),
+                static_cast<unsigned long long>(l.mixed->digest),
+                static_cast<unsigned long long>(l.sequential.digest),
+                match ? "MATCH" : "DIVERGED");
+  }
+  std::printf("  %.2f simulated s, %llu failures, isolation %s\n", mix.simulated_s,
+              static_cast<unsigned long long>(profile_failures),
+              profile_match ? "holds" : "BROKEN");
+  if (!profile_match || profile_failures != 0) {
+    std::fprintf(stderr, "profile: concurrent digests diverged from sequential baselines\n");
+  }
+
   // ---- BENCH_replay_service.json: the perf trajectory for future PRs ----
   FILE* f = std::fopen("BENCH_replay_service.json", "w");
   if (f == nullptr) {
@@ -467,9 +798,25 @@ int main(int argc, char** argv) {
                  i + 1 < amort.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"amortization_digest_match\": %s\n", digest_match ? "true" : "false");
+  std::fprintf(f, "  \"amortization_digest_match\": %s,\n", digest_match ? "true" : "false");
+  std::fprintf(f, "  \"mixed_profile\": {\n");
+  std::fprintf(f, "    \"rounds\": %d,\n", kProfileRounds);
+  std::fprintf(f, "    \"simulated_seconds\": %.3f,\n", mix.simulated_s);
+  std::fprintf(f, "    \"failures\": %llu,\n",
+               static_cast<unsigned long long>(profile_failures));
+  for (const LegRow& l : legs) {
+    std::fprintf(f,
+                 "    \"%s\": {\"invokes\": %llu, \"digest\": \"%016llx\", "
+                 "\"sequential_digest\": \"%016llx\", \"match\": %s},\n",
+                 l.name, static_cast<unsigned long long>(l.mixed->invokes),
+                 static_cast<unsigned long long>(l.mixed->digest),
+                 static_cast<unsigned long long>(l.sequential.digest),
+                 l.mixed->digest == l.sequential.digest ? "true" : "false");
+  }
+  std::fprintf(f, "    \"digest_match\": %s\n", profile_match ? "true" : "false");
+  std::fprintf(f, "  }\n");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("\nwrote BENCH_replay_service.json\n");
-  return (digest_match && amort_ok) ? 0 : 1;
+  return (digest_match && amort_ok && profile_match && profile_failures == 0) ? 0 : 1;
 }

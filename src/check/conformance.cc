@@ -797,6 +797,9 @@ std::string ReproToString(const GeneratedCase& g, const std::string& invariant) 
     for (uint32_t v : queue) s += " " + Hex(v);
     s += "\n";
   }
+  for (const auto& [off, value] : g.script.doorbell_sets) {
+    s += "dbset " + Hex(off) + " " + Hex(value) + "\n";
+  }
   s += "template\n";
   s += TemplatesToText({g.tpl});
   return s;
@@ -848,6 +851,11 @@ Result<Repro> ParseRepro(std::string_view text) {
       DLT_ASSIGN_OR_RETURN(off, ParseU64(toks[1]));
       DLT_ASSIGN_OR_RETURN(v, ParseU64(toks[2]));
       repro.c.script.initial_regs[off] = static_cast<uint32_t>(v);
+    } else if (key == "dbset" && toks.size() == 3) {
+      uint64_t off, v;
+      DLT_ASSIGN_OR_RETURN(off, ParseU64(toks[1]));
+      DLT_ASSIGN_OR_RETURN(v, ParseU64(toks[2]));
+      repro.c.script.doorbell_sets[off] = static_cast<uint32_t>(v);
     } else if (key == "queue" && toks.size() >= 2) {
       uint64_t off;
       DLT_ASSIGN_OR_RETURN(off, ParseU64(toks[1]));

@@ -12,8 +12,11 @@
 #include "src/core/package.h"
 #include "src/core/serialize_binary.h"
 #include "src/core/serialize_text.h"
+#include "src/dev/cryptoacc/cryptoacc_device.h"
+#include "src/dev/ftpm/ftpm_device.h"
 #include "src/dev/vc4/vc4_firmware.h"
 #include "src/drv/bcm_sdhost_driver.h"
+#include "src/drv/cryptoacc_driver.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
 #include "src/obs/edge.h"
@@ -86,15 +89,22 @@ uint64_t Log2Bucket(uint64_t v) {
 // Program execution
 // ---------------------------------------------------------------------------
 
+// The fuzzer's class table IS the registered-class table: operands are taken
+// modulo its size, so a class added to RegisteredDriverletClasses() joins the
+// fuzzing surface without touching this file.
+size_t NumClasses() { return RegisteredDriverletClasses().size(); }
+
 const std::vector<uint8_t>& SealedPackage(size_t cls) {
   // Recording a campaign per class is the expensive part; seal once per
   // process and reuse the bytes for every fuzz run.
-  static const std::vector<uint8_t>* pkgs[3] = {
-      new std::vector<uint8_t>(BuildMmcPackage()),
-      new std::vector<uint8_t>(BuildUsbPackage()),
-      new std::vector<uint8_t>(BuildCameraPackage()),
-  };
-  return *pkgs[cls % 3];
+  const std::vector<DriverletClassSpec>& classes = RegisteredDriverletClasses();
+  static std::vector<const std::vector<uint8_t>*>* pkgs =
+      new std::vector<const std::vector<uint8_t>*>(classes.size(), nullptr);
+  size_t i = cls % classes.size();
+  if ((*pkgs)[i] == nullptr) {
+    (*pkgs)[i] = new std::vector<uint8_t>(classes[i].build_package());
+  }
+  return *(*pkgs)[i];
 }
 
 // The register op's package corpus: two tiny generated templates under the
@@ -186,11 +196,8 @@ std::vector<uint8_t> MutantPackageBytes(uint64_t salt, PackageWire wire, uint64_
 }
 
 const char* EntryOf(size_t cls) {
-  switch (cls % 3) {
-    case 0: return kMmcEntry;
-    case 1: return kUsbEntry;
-    default: return kCameraEntry;
-  }
+  const std::vector<DriverletClassSpec>& classes = RegisteredDriverletClasses();
+  return classes[cls % classes.size()].entry;
 }
 
 class BoundaryExec {
@@ -214,7 +221,7 @@ class BoundaryExec {
     // Warm the process-wide sealed-package cache before arming telemetry:
     // the one-time record campaigns emit counters, and a run's feature set
     // must not depend on whether an earlier run already paid that cost.
-    for (size_t cls = 0; cls < 3; ++cls) SealedPackage(cls);
+    for (size_t cls = 0; cls < NumClasses(); ++cls) SealedPackage(cls);
     for (size_t w = 0; w < 3; ++w) FzzSealed(static_cast<PackageWire>(w));
     Telemetry::Get().Enable();
     Telemetry::Get().Reset();
@@ -272,12 +279,16 @@ class BoundaryExec {
   void Setup() {
     // Register only the classes the program opens (plus mmc as a floor), so
     // open-reject paths stay reachable for the other names.
-    bool wanted[3] = {false, false, false};
+    std::vector<bool> wanted(NumClasses(), false);
+    bool any = false;
     for (const BoundaryAction& a : prog_.actions) {
-      if (a.op == BoundaryOp::kOpen) wanted[a.a % 3] = true;
+      if (a.op == BoundaryOp::kOpen) {
+        wanted[a.a % NumClasses()] = true;
+        any = true;
+      }
     }
-    if (!wanted[0] && !wanted[1] && !wanted[2]) wanted[0] = true;
-    for (size_t cls = 0; cls < 3; ++cls) {
+    if (!any) wanted[0] = true;
+    for (size_t cls = 0; cls < NumClasses(); ++cls) {
       if (!wanted[cls]) continue;
       const std::vector<uint8_t>& pkg = SealedPackage(cls);
       Result<std::string> name = service_->RegisterDriverlet(pkg.data(), pkg.size());
@@ -294,13 +305,39 @@ class BoundaryExec {
   // Buffers live in |arena_| for the whole run: Submit and RingPush borrow
   // views until their completions are taken.
   std::pair<std::string, ReplayArgs> SynthInvoke(size_t cls, uint64_t variant, uint64_t seed) {
-    cls %= 3;
+    cls %= NumClasses();
     variant %= 4;
     std::string entry = EntryOf(cls);
     if (variant == 2) entry = EntryOf(cls + 1);  // cross-class: uncovered
     if (variant == 3) entry = "replay_nosuch";
     ReplayArgs args;
-    if (cls == 2) {
+    if (cls == 3) {
+      // fTPM command pipe. Variant 0: GetRandom at a covered length derived
+      // from the seed (the recorded 32..256 range); variant 1: PcrExtend on a
+      // covered bank index.
+      uint64_t ord = variant == 1 ? kFtpmOrdPcrExtend : kFtpmOrdGetRandom;
+      uint64_t arg = variant == 1 ? seed % kFtpmPcrCount : 32 + (seed % 8) * 32;
+      arena_.push_back(PatternBuf(kFtpmPcrBytes, seed));
+      std::vector<uint8_t>& req = arena_.back();
+      arena_.emplace_back(kFtpmMaxRandom, 0);
+      std::vector<uint8_t>& rsp = arena_.back();
+      args.scalars = {{"ord", ord}, {"arg", arg}};
+      args.ro_buffers["req"] = ConstBufferView{req.data(), req.size()};
+      args.buffers["rsp"] = BufferView{rsp.data(), rsp.size()};
+    } else if (cls == 4) {
+      // DMA crypto engine. Variant 0: encrypt at a seed-picked length inside
+      // the covered 1..4 chunk-count range; variant 1: digest one chunk. The
+      // key is a free symbolic operand, so any value is covered.
+      uint64_t op = variant == 1 ? kCaOpDigest : kCaOpEncrypt;
+      uint64_t len = variant == 1 ? kCryptoChunkBytes : 256 * (1 + seed % 64);
+      arena_.push_back(PatternBuf(len, seed));
+      std::vector<uint8_t>& buf = arena_.back();
+      arena_.emplace_back(op == kCaOpDigest ? kCaDigestBytes : len, 0);
+      std::vector<uint8_t>& out = arena_.back();
+      args.scalars = {{"op", op}, {"key", 0xc0ffee00 + (seed % 16)}, {"len", len}};
+      args.ro_buffers["buf"] = ConstBufferView{buf.data(), buf.size()};
+      args.buffers["out"] = BufferView{out.data(), out.size()};
+    } else if (cls == 2) {
       // Camera capture. One shared frame buffer per run bounds arena growth;
       // frame content is not an invariant here, only boundary behaviour.
       if (camera_buf_.empty()) {
@@ -340,7 +377,7 @@ class BoundaryExec {
     std::string line = std::to_string(idx) + " " + NameOf(act.op);
     switch (act.op) {
       case BoundaryOp::kOpen: {
-        size_t cls = act.a % 3;
+        size_t cls = act.a % NumClasses();
         Result<SessionId> sid = service_->OpenSession(class_name_[cls]);
         CheckStatus(idx, "OpenSession", sid.ok() ? Status::kOk : sid.status());
         line += sid.ok() ? " ok" : std::string(" ") + StatusName(sid.status());
@@ -486,15 +523,21 @@ class BoundaryExec {
       }
       case BoundaryOp::kFaultArm: {
         FaultPlane plane = static_cast<FaultPlane>(act.a % 3);
-        size_t cls = act.b % 3;
+        size_t cls = act.b % NumClasses();
         FaultTargets targets;
         if (cls == 0) {
           targets.device = tb_->mmc_id();
           targets.dma_via_engine = true;
         } else if (cls == 1) {
           targets.device = tb_->usb_id();
-        } else {
+        } else if (cls == 2) {
           targets.device = tb_->vchiq_id();
+        } else if (cls == 3) {
+          targets.device = tb_->ftpm_id();
+        } else {
+          // The crypto engine masters its descriptor ring itself, so its DMA
+          // plane is the device, not the system engine.
+          targets.device = tb_->crypto_id();
         }
         FaultPlan plan = MakePresetPlan(plane, act.c + 1, targets);
         Status s = injector_->Arm(plan);
@@ -635,7 +678,7 @@ class BoundaryExec {
   std::unique_ptr<Rpi3Testbed> tb_;
   std::unique_ptr<ReplayService> service_;
   std::unique_ptr<FaultInjector> injector_;
-  std::string class_name_[3];
+  std::vector<std::string> class_name_ = std::vector<std::string>(NumClasses());
   SessionId slots_[kSlots] = {0, 0, 0, 0};
   size_t slot_class_[kSlots] = {0, 0, 0, 0};
   std::deque<std::vector<uint8_t>> arena_;
@@ -824,11 +867,11 @@ BoundaryRunResult RunBoundaryProgram(const BoundaryProgram& p) {
 }
 
 std::vector<BoundaryProgram> BuiltinBoundaryCorpus() {
-  // One lifecycle per driverlet class: open, a covered invoke (arg seed 7 →
-  // blkcnt 8, the recorded geometry), a full ring cycle that wraps the
-  // 4-deep ring, a queued submit/process round, attest, close.
+  // One lifecycle per registered driverlet class: open, a covered invoke
+  // (arg seed 7 maps into each class's recorded geometry), a full ring cycle
+  // that wraps the 4-deep ring, a queued submit/process round, attest, close.
   std::vector<BoundaryProgram> corpus;
-  for (uint64_t cls = 0; cls < 3; ++cls) {
+  for (uint64_t cls = 0; cls < NumClasses(); ++cls) {
     BoundaryProgram p;
     auto add = [&p](BoundaryOp op, uint64_t a, uint64_t b, uint64_t c) {
       p.actions.push_back(BoundaryAction{op, a, b, c});

@@ -6,8 +6,10 @@
 // reap orderings, fault-plane arming, attestation requests, and mutated
 // sealed-package bytes fed through RegisterDriverlet. Each run executes one
 // program against a fresh deployment (Rpi3Testbed + ReplayService hosting the
-// sealed mmc/usb/camera packages) and asserts the boundary invariants that
-// must hold for EVERY program, not just the recorded ones:
+// sealed package of every registered driverlet class — see
+// RegisteredDriverletClasses() in src/workload/deploy_util.h) and asserts the
+// boundary invariants that must hold for EVERY program, not just the recorded
+// ones:
 //
 //   allowed-status     every API call returns a status from its contract
 //                      (kBadState / kCorrupt never escape the boundary;
@@ -44,11 +46,11 @@
 namespace dlt {
 
 // One action at the service boundary. Operands are interpreted modulo the
-// harness's small tables (4 session slots, 3 driverlet classes, 4 entry
-// variants), so every uint64 triple is a valid program — mutation never has
-// to repair anything.
+// harness's small tables (4 session slots, the registered-class table, 4
+// entry variants), so every uint64 triple is a valid program — mutation never
+// has to repair anything.
 enum class BoundaryOp : uint8_t {
-  kOpen = 0,     // a: driverlet class (0 mmc, 1 usb, 2 camera)
+  kOpen = 0,     // a: index into RegisteredDriverletClasses()
   kClose,        // a: session slot
   kInvoke,       // a: slot, b: entry variant, c: argument seed
   kSubmit,       // a: slot, b: entry variant, c: argument seed

@@ -26,8 +26,12 @@ uint32_t GenDevice::MmioRead32(uint64_t offset) {
 
 void GenDevice::MmioWrite32(uint64_t offset, uint32_t value) {
   if (offset == kDoorbellOff) {
-    pending_raises_.push_back(
-        clock_->ScheduleIn(script_.irq_delay_us, [this] { irq_->Raise(line_); }));
+    pending_raises_.push_back(clock_->ScheduleIn(script_.irq_delay_us, [this] {
+      for (const auto& [off, v] : script_.doorbell_sets) {
+        regs_[off] = v;
+      }
+      irq_->Raise(line_);
+    }));
     return;
   }
   if (offset == kIrqAckOff) {

@@ -44,6 +44,12 @@ struct GenScript {
   // current register value. Cursor state rewinds on SoftReset.
   std::map<uint64_t, std::vector<uint32_t>> read_queues;
   uint64_t irq_delay_us = 40;  // doorbell write -> Raise latency
+  // Completion state applied when a doorbell raise fires: each entry sets the
+  // register at |offset| to |value| — how generated descriptor-ring templates
+  // get a consumer index that only catches up after the "engine" finishes
+  // (the IRQ-gated poll idiom). SoftReset restores the initial register file,
+  // so each attempt re-earns the completion through its own doorbell.
+  std::map<uint64_t, uint32_t> doorbell_sets;
 };
 
 class GenDevice : public MmioDevice {

@@ -498,6 +498,174 @@ void TemplateGen::MiscBlock() {
   }
 }
 
+// The fTPM-pipe shape: a FIFO read whose byte length is a symbolic function
+// of a scalar parameter (the variable-length response slot the compiled
+// engine lowers with postfix length folding), preceded by an unconstrained
+// statistic read (the RspLen idiom: observed, bound, never branched), and
+// optionally followed by a symbolic-length request push.
+void TemplateGen::VarLenPioBlock() {
+  const char* param = rng_.Chance(50) ? "a" : "b";
+  // len = (param & 0x18) + 8 ∈ {8, 16, 24, 32}: word-aligned and bounded, so
+  // the generated FIFO script always covers it.
+  ExprRef len_expr =
+      Expr::Binary(ExprOp::kAdd,
+                   Expr::Binary(ExprOp::kAnd, Expr::Input(param), Expr::Const(0x18)),
+                   Expr::Const(8));
+  uint64_t len = ValueOf(len_expr);
+
+  // Statistic input: the device reports the length; the template observes it
+  // without constraining it (it is not state-changing).
+  uint64_t stat_off = NextOff();
+  case_.script.read_queues[stat_off].push_back(static_cast<uint32_t>(len));
+  TemplateEvent stat = Event(EventKind::kRegRead);
+  stat.device = kGenDeviceId;
+  stat.reg_off = stat_off;
+  stat.bind = NewSym("s");  // deliberately never referenced again
+  Emit(std::move(stat));
+
+  if (out_cursor_ + len <= case_.out_len) {
+    uint64_t fifo_off = NextOff();
+    std::vector<uint32_t>& queue = case_.script.read_queues[fifo_off];
+    std::vector<uint8_t> bytes;
+    for (uint64_t i = 0; i < len / 4; ++i) {
+      uint32_t v = static_cast<uint32_t>(rng_.Range(0, 0xffff'ffff));
+      queue.push_back(v);
+      for (int b = 0; b < 4; ++b) {
+        bytes.push_back(static_cast<uint8_t>(v >> (8 * b)));
+      }
+    }
+    TemplateEvent in = Event(EventKind::kPioIn);
+    in.device = kGenDeviceId;
+    in.reg_off = fifo_off;
+    in.buffer = "out";
+    in.buf_offset = Expr::Const(out_cursor_);
+    in.value = len_expr;  // the symbolic variable-length slot
+    Emit(std::move(in));
+    for (uint64_t i = 0; i < len; ++i) {
+      case_.expected_out[out_cursor_ + i] = bytes[i];
+    }
+    out_cursor_ += len;
+  }
+
+  if (rng_.Chance(60)) {
+    // Symbolic-length request push from the trustlet payload.
+    const char* other = param[0] == 'a' ? "b" : "a";
+    ExprRef plen_expr =
+        Expr::Binary(ExprOp::kAdd,
+                     Expr::Binary(ExprOp::kAnd, Expr::Input(other), Expr::Const(0xc)),
+                     Expr::Const(4));
+    uint64_t plen = ValueOf(plen_expr);  // ∈ {4, 8, 12, 16}
+    TemplateEvent out = Event(EventKind::kPioOut);
+    out.device = kGenDeviceId;
+    out.reg_off = NextOff();
+    out.buffer = "payload";
+    out.buf_offset = Expr::Const(rng_.Range(0, case_.payload.size() - plen));
+    out.value = plen_expr;
+    Emit(std::move(out));
+  }
+}
+
+// The crypto-queue shape: build a ring of 4-word descriptors in DMA memory —
+// control words carry a parameter as a symbolic bitfield and dma_alloc
+// addresses as data — ring the doorbell, wait for the completion IRQ, then
+// poll the consumer index, which GenDevice's doorbell completion publishes
+// (doorbell_sets), so the poll only succeeds after the "engine" finished.
+void TemplateGen::DescriptorRingBlock() {
+  uint64_t n = rng_.Range(1, 3);
+
+  // Consumer index: starts at 0 in the reset register file, jumps to n when
+  // the doorbell's completion fires.
+  uint64_t tail_off = NextOff();
+  case_.script.initial_regs[tail_off] = 0;
+  case_.script.doorbell_sets[tail_off] = static_cast<uint32_t>(n);
+
+  // Per-descriptor payload regions, then the ring itself.
+  std::vector<std::string> srcs;
+  std::vector<Region> src_regions;
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string src = NewSym("dma");
+    TemplateEvent alloc = Event(EventKind::kDmaAlloc);
+    alloc.bind = src;
+    alloc.value = Expr::Const(16);
+    Emit(std::move(alloc));
+    known_[src] = ModelAlloc(16);
+    Region r;
+    r.sym = src;
+    r.bytes.assign(16, 0);
+    r.init.assign(16, false);
+    for (uint64_t w = 0; w < 4; ++w) {
+      WriteRegionWord(&r, w * 4, Expr::Const(rng_.Range(0, 0xffff'ffff)));
+    }
+    srcs.push_back(src);
+    src_regions.push_back(std::move(r));
+  }
+
+  std::string ring = NewSym("dma");
+  TemplateEvent alloc = Event(EventKind::kDmaAlloc);
+  alloc.bind = ring;
+  alloc.value = Expr::Const(n * 16);
+  Emit(std::move(alloc));
+  known_[ring] = ModelAlloc(n * 16);
+
+  Region rr;
+  rr.sym = ring;
+  rr.bytes.assign(n * 16, 0);
+  rr.init.assign(n * 16, false);
+  const char* param = rng_.Chance(50) ? "a" : "b";
+  for (uint64_t i = 0; i < n; ++i) {
+    // ctrl = valid | irq-on-last | (param << 8): the parameter stays symbolic
+    // inside the descriptor control word, the crypto-driver op idiom.
+    uint32_t flags = 0x1 | (i + 1 == n ? 0x2 : 0);
+    ExprRef dctrl =
+        Expr::Binary(ExprOp::kOr, Expr::Const(flags),
+                     Expr::Binary(ExprOp::kShl, Expr::Input(param), Expr::Const(8)));
+    WriteRegionWord(&rr, i * 16 + 0, dctrl);
+    WriteRegionWord(&rr, i * 16 + 4, Expr::Input(srcs[i]));
+    WriteRegionWord(&rr, i * 16 + 8, Expr::Const(16));
+    WriteRegionWord(&rr, i * 16 + 12, Expr::Const(rng_.Range(0, 0xffff'ffff)));
+  }
+
+  // Doorbell -> completion IRQ -> ack -> IRQ-gated consumer-index poll.
+  TemplateEvent bell = Event(EventKind::kRegWrite);
+  bell.device = kGenDeviceId;
+  bell.reg_off = GenDevice::kDoorbellOff;
+  bell.value = Expr::Const(1);
+  Emit(std::move(bell));
+  TemplateEvent wait = Event(EventKind::kWaitIrq);
+  wait.irq_line = kGenIrqLine;
+  wait.timeout_us = 10'000;
+  Emit(std::move(wait));
+  TemplateEvent ack = Event(EventKind::kRegWrite);
+  ack.device = kGenDeviceId;
+  ack.reg_off = GenDevice::kIrqAckOff;
+  ack.value = Expr::Const(1);
+  Emit(std::move(ack));
+  TemplateEvent poll = Event(EventKind::kPollReg);
+  poll.device = kGenDeviceId;
+  poll.reg_off = tail_off;
+  poll.mask = 0xffff'ffff;
+  poll.want = static_cast<uint32_t>(n);
+  poll.poll_cmp = Cmp::kEq;
+  poll.interval_us = 2;
+  poll.timeout_us = 50'000;
+  poll.recorded_iters = 0;
+  if (rng_.Chance(50)) {
+    std::string bind = NewSym("p");
+    poll.bind = bind;
+    AddKnown(bind, n);
+  }
+  Emit(std::move(poll));
+
+  if (rng_.Chance(50)) {
+    uint64_t i = rng_.Range(0, n - 1);
+    CopyRegionToOut(src_regions[i], 0, 16);
+  }
+  for (Region& r : src_regions) {
+    regions_.push_back(std::move(r));
+  }
+  regions_.push_back(std::move(rr));
+}
+
 // A compound operand expression (guaranteed non-folded: it references an
 // input) written to a register, read back under a symbolic masked constraint.
 void TemplateGen::ExprBlock() {
@@ -579,7 +747,7 @@ GeneratedCase TemplateGen::Generate() {
   int blocks = static_cast<int>(rng_.Range(static_cast<uint64_t>(cfg_.min_blocks),
                                            static_cast<uint64_t>(cfg_.max_blocks)));
   for (int i = 0; i < blocks; ++i) {
-    switch (rng_.Range(0, 9)) {
+    switch (rng_.Range(0, 11)) {
       case 0:
         RegBlock();
         break;
@@ -606,6 +774,12 @@ GeneratedCase TemplateGen::Generate() {
         break;
       case 8:
         MiscBlock();
+        break;
+      case 9:
+        VarLenPioBlock();
+        break;
+      case 10:
+        DescriptorRingBlock();
         break;
       default:
         ExprBlock();

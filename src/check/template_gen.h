@@ -98,6 +98,14 @@ class TemplateGen {
   void IrqBlock();
   void MiscBlock();
   void ExprBlock();
+  // The fTPM-pipe shape: PIO transfers whose lengths are symbolic functions of
+  // a scalar parameter (variable-length arg slots, postfix length folding)
+  // plus an unconstrained statistic read.
+  void VarLenPioBlock();
+  // The crypto-queue shape: a descriptor ring in DMA memory with symbolic
+  // control words, a doorbell kick, the completion IRQ, and an IRQ-gated poll
+  // of a consumer index that the doorbell's completion publishes.
+  void DescriptorRingBlock();
 
   // Random operand expression over known-value symbols; never divides by a
   // non-constant and keeps shifts < 32 so evaluation cannot fail.

@@ -35,6 +35,14 @@ struct LatencyModel {
   uint64_t cam_native_pipeline_us = 95'000;  // per-frame cost once the native driver
                                              // streams with coalesced IRQs
 
+  // Firmware TPM (mailbox command pipe).
+  uint64_t ftpm_cmd_us = 650;     // secure-world firmware handles one TPM command
+  uint64_t ftpm_per_kb_us = 90;   // marshalling per KB of request + response
+
+  // Crypto accelerator (descriptor-ring engine).
+  uint64_t crypto_setup_us = 8;     // descriptor fetch + engine start per doorbell
+  uint64_t crypto_per_kb_us = 3;    // cipher/digest throughput (~330 MB/s)
+
   // Software costs.
   uint64_t kern_block_layer_us = 300;  // syscall + VFS + block layer, per request
   uint64_t kern_sync_write_us = 2'400; // extra O_SYNC barrier cost per write request

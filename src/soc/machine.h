@@ -42,6 +42,12 @@ inline constexpr int kTouchIrq = 41;
 inline constexpr PhysAddr kUartBase = 0x3F20'1000;
 inline constexpr uint64_t kUartSize = 0x100;
 inline constexpr int kUartIrq = 57;
+inline constexpr PhysAddr kFtpmBase = 0x3F50'0000;
+inline constexpr uint64_t kFtpmSize = 0x100;
+inline constexpr int kFtpmIrq = 42;
+inline constexpr PhysAddr kCryptoBase = 0x3F51'0000;
+inline constexpr uint64_t kCryptoSize = 0x100;
+inline constexpr int kCryptoIrq = 43;
 
 class Machine {
  public:

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/kern/block_layer.h"
@@ -82,6 +83,110 @@ inline std::vector<uint8_t> BuildTouchPackage() {
   Rpi3Testbed dev{TestbedOptions{}};
   Result<RecordCampaign> c = RecordTouchCampaign(&dev);
   return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildFtpmPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordFtpmCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+inline std::vector<uint8_t> BuildCryptoaccPackage() {
+  Rpi3Testbed dev{TestbedOptions{}};
+  Result<RecordCampaign> c = RecordCryptoaccCampaign(&dev);
+  return c.ok() ? c->Seal(PackageFormat::kText, kDeveloperKey) : std::vector<uint8_t>{};
+}
+
+// The registered driverlet classes — THE class list. Everything that sweeps
+// "all driverlets" (bench/fig8_micro, `driverletc record/trace/faultsweep`,
+// the boundary fuzzer's class tables, the fault matrix) iterates this table
+// instead of hard-coding {mmc, usb, camera}; adding a class here is the only
+// registration step a new device class needs outside its own sources.
+struct DriverletClassSpec {
+  const char* name;    // campaign/driverlet name ("mmc")
+  const char* entry;   // replay entry ("replay_mmc")
+  std::vector<uint8_t> (*build_package)();
+  Result<RecordCampaign> (*record)(Rpi3Testbed*);
+};
+
+inline const std::vector<DriverletClassSpec>& RegisteredDriverletClasses() {
+  static const std::vector<DriverletClassSpec> kClasses = {
+      {"mmc", kMmcEntry, &BuildMmcPackage, &RecordMmcCampaign},
+      {"usb", kUsbEntry, &BuildUsbPackage, &RecordUsbCampaign},
+      {"camera", kCameraEntry, &BuildCameraPackage, &RecordCameraCampaign},
+      {"ftpm", kFtpmEntry, &BuildFtpmPackage, &RecordFtpmCampaign},
+      {"cryptoacc", kCryptoaccEntry, &BuildCryptoaccPackage, &RecordCryptoaccCampaign},
+  };
+  return kClasses;
+}
+
+inline const DriverletClassSpec* FindDriverletClass(std::string_view name) {
+  for (const DriverletClassSpec& c : RegisteredDriverletClasses()) {
+    if (name == c.name) {
+      return &c;
+    }
+  }
+  return nullptr;
+}
+
+inline std::vector<std::string> RegisteredDriverletClassNames() {
+  std::vector<std::string> names;
+  for (const DriverletClassSpec& c : RegisteredDriverletClasses()) {
+    names.emplace_back(c.name);
+  }
+  return names;
+}
+
+// Synthesizes one covered invoke (scalars + buffers) for a driverlet entry —
+// the shared per-class arg table behind `driverletc smoke/trace/fleet/ring`
+// and the registry-driven benches. |buf|/|aux| back the BufferViews and must
+// outlive the invoke; |round| varies addresses and payloads across repeated
+// calls while staying inside each class's recorded coverage. Returns false
+// for entries with no synthesizable load (touch needs injected input events).
+inline bool CoveredArgsFor(const std::string& entry, int round, std::vector<uint8_t>* buf,
+                           std::vector<uint8_t>* aux, ReplayArgs* args) {
+  *args = ReplayArgs{};
+  if (entry == kMmcEntry || entry == kUsbEntry) {
+    buf->assign(8 * 512, static_cast<uint8_t>(0x40 + round % 64));
+    args->scalars = {{"rw", kMmcRwWrite},
+                     {"blkcnt", 8},
+                     {"blkid", 2048 + static_cast<uint64_t>(round % 8) * 8},
+                     {"flag", 0}};
+    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
+    return true;
+  }
+  if (entry == kCameraEntry) {
+    buf->assign(Vc4Firmware::FrameBytes(1440) + 4096, 0);
+    aux->assign(4, 0);
+    args->scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", buf->size()}};
+    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
+    args->buffers["img_size"] = BufferView{aux->data(), aux->size()};
+    return true;
+  }
+  if (entry == kDisplayEntry) {
+    buf->assign(64 * 64 * 4, 0x33);
+    args->scalars = {{"x", 0}, {"y", 0}, {"w", 64}, {"h", 64}};
+    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
+    return true;
+  }
+  if (entry == kFtpmEntry) {
+    buf->assign(kFtpmPcrBytes, 0);
+    aux->assign(kFtpmMaxRandom, 0);
+    args->scalars = {{"ord", kFtpmOrdGetRandom},
+                     {"arg", 32 + static_cast<uint64_t>(round % 8) * 32}};
+    args->ro_buffers["req"] = ConstBufferView{buf->data(), buf->size()};
+    args->buffers["rsp"] = BufferView{aux->data(), aux->size()};
+    return true;
+  }
+  if (entry == kCryptoaccEntry) {
+    buf->assign(kCryptoChunkBytes, static_cast<uint8_t>(0x21 + round % 64));
+    aux->assign(kCryptoChunkBytes, 0);
+    args->scalars = {{"op", kCaOpEncrypt},
+                     {"key", 0xc0ffee00 + static_cast<uint64_t>(round % 16)},
+                     {"len", buf->size()}};
+    args->ro_buffers["buf"] = ConstBufferView{buf->data(), buf->size()};
+    args->buffers["out"] = BufferView{aux->data(), aux->size()};
+    return true;
+  }
+  return false;
 }
 
 // The --seeds/--base-seed flag pair every seeded sweep driver accepts

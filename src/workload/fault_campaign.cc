@@ -55,6 +55,80 @@ OpOutcome RunBlockOp(Deployment& d, const char* entry, uint64_t seed, int op) {
   return out;
 }
 
+// GetRandom at a covered length: content is DRBG output so the end-to-end
+// check is shape, not bytes — the response window must be written and the
+// tail must stay untouched.
+OpOutcome RunFtpmOp(Deployment& d, uint64_t seed, int op) {
+  OpOutcome out;
+  uint64_t arg = 32 + ((seed + static_cast<uint64_t>(op)) % 8) * 32;
+  std::vector<uint8_t> req(kFtpmPcrBytes, 0);
+  std::vector<uint8_t> rsp(kFtpmMaxRandom, 0);
+  ReplayArgs args;
+  args.scalars = {{"ord", kFtpmOrdGetRandom}, {"arg", arg}};
+  args.ro_buffers["req"] = ConstBufferView{req.data(), req.size()};
+  args.buffers["rsp"] = BufferView{rsp.data(), rsp.size()};
+  Result<ReplayStats> r = d.service->Invoke(d.session, kFtpmEntry, args);
+  if (!r.ok()) {
+    out.quarantined = r.status() == Status::kQuarantined;
+    return out;
+  }
+  out.attempts = r->attempts;
+  bool payload_written = false;
+  for (uint64_t i = 0; i < arg; ++i) {
+    payload_written |= rsp[i] != 0;
+  }
+  bool tail_clean = true;
+  for (size_t i = arg; i < rsp.size(); ++i) {
+    tail_clean &= rsp[i] == 0;
+  }
+  if (!payload_written || !tail_clean) {
+    out.data_error = true;
+    return out;
+  }
+  out.recovered = true;
+  out.retried = r->attempts > 1;
+  return out;
+}
+
+// Encrypt-then-decrypt round trip through the descriptor ring: like the block
+// classes, payload corruption is silent at the replay layer, so the campaign
+// verifies the plaintext comes back byte-identical.
+OpOutcome RunCryptoaccOp(Deployment& d, uint64_t seed, int op) {
+  OpOutcome out;
+  uint64_t key = 0xc0ffee00 + (seed % 16);
+  std::vector<uint8_t> pattern =
+      PatternBuf(kCryptoChunkBytes, seed * 1000 + static_cast<uint64_t>(op));
+  std::vector<uint8_t> ct(pattern.size(), 0);
+  ReplayArgs eargs;
+  eargs.scalars = {{"op", kCaOpEncrypt}, {"key", key}, {"len", pattern.size()}};
+  eargs.ro_buffers["buf"] = ConstBufferView{pattern.data(), pattern.size()};
+  eargs.buffers["out"] = BufferView{ct.data(), ct.size()};
+  Result<ReplayStats> e = d.service->Invoke(d.session, kCryptoaccEntry, eargs);
+  if (!e.ok()) {
+    out.quarantined = e.status() == Status::kQuarantined;
+    return out;
+  }
+  out.attempts += e->attempts;
+  std::vector<uint8_t> rt(pattern.size(), 0);
+  ReplayArgs dargs;
+  dargs.scalars = {{"op", kCaOpDecrypt}, {"key", key}, {"len", ct.size()}};
+  dargs.ro_buffers["buf"] = ConstBufferView{ct.data(), ct.size()};
+  dargs.buffers["out"] = BufferView{rt.data(), rt.size()};
+  Result<ReplayStats> dec = d.service->Invoke(d.session, kCryptoaccEntry, dargs);
+  if (!dec.ok()) {
+    out.quarantined = dec.status() == Status::kQuarantined;
+    return out;
+  }
+  out.attempts += dec->attempts;
+  if (rt != pattern) {
+    out.data_error = true;
+    return out;
+  }
+  out.recovered = true;
+  out.retried = e->attempts > 1 || dec->attempts > 1;
+  return out;
+}
+
 OpOutcome RunCameraOp(Deployment& d, uint64_t /*seed*/, int /*op*/) {
   OpOutcome out;
   std::vector<uint8_t> buf(Vc4Firmware::FrameBytes(1440) + 4096);
@@ -103,6 +177,14 @@ FaultMatrixCell RunCell(FaultPlane plane, const std::string& driverlet, uint64_t
   } else if (driverlet == "usb") {
     targets.device = d.tb->usb_id();
     targets.dma_via_engine = false;
+  } else if (driverlet == "ftpm") {
+    targets.device = d.tb->ftpm_id();
+    targets.dma_via_engine = false;
+  } else if (driverlet == "cryptoacc") {
+    // The crypto engine masters its own descriptor ring, so its DMA plane is
+    // the device itself, not the system engine.
+    targets.device = d.tb->crypto_id();
+    targets.dma_via_engine = false;
   } else {
     targets.device = d.tb->vchiq_id();
     targets.dma_via_engine = false;
@@ -118,6 +200,10 @@ FaultMatrixCell RunCell(FaultPlane plane, const std::string& driverlet, uint64_t
     OpOutcome out;
     if (driverlet == "camera") {
       out = RunCameraOp(d, seed, op);
+    } else if (driverlet == "ftpm") {
+      out = RunFtpmOp(d, seed, op);
+    } else if (driverlet == "cryptoacc") {
+      out = RunCryptoaccOp(d, seed, op);
     } else {
       out = RunBlockOp(d, driverlet == "mmc" ? kMmcEntry : kUsbEntry, seed, op);
     }
@@ -158,15 +244,15 @@ FaultMatrixCell RunCell(FaultPlane plane, const std::string& driverlet, uint64_t
 FaultMatrix RunFaultMatrix(const FaultMatrixConfig& cfg) {
   FaultMatrix m;
   m.config = cfg;
+  if (m.config.driverlets.empty()) {
+    m.config.driverlets = RegisteredDriverletClassNames();
+  }
 
   std::vector<std::pair<std::string, std::vector<uint8_t>>> packages;
-  for (const std::string& drv : cfg.driverlets) {
-    if (drv == "mmc") {
-      packages.emplace_back(drv, BuildMmcPackage());
-    } else if (drv == "usb") {
-      packages.emplace_back(drv, BuildUsbPackage());
-    } else if (drv == "camera") {
-      packages.emplace_back(drv, BuildCameraPackage());
+  for (const std::string& drv : m.config.driverlets) {
+    const DriverletClassSpec* spec = FindDriverletClass(drv);
+    if (spec != nullptr) {
+      packages.emplace_back(drv, spec->build_package());
     }
   }
 

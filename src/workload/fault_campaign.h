@@ -17,9 +17,11 @@ namespace dlt {
 
 struct FaultMatrixConfig {
   std::vector<uint64_t> seeds{1, 2, 3, 4};
-  int ops_per_cell = 6;  // one op = write+readback-verify (block) or capture (camera)
-  // Which driverlets to sweep; default is the paper's three device classes.
-  std::vector<std::string> driverlets{"mmc", "usb", "camera"};
+  int ops_per_cell = 6;  // one op = a verified request pair/capture per class
+  // Which driverlets to sweep. Empty (the default) means every registered
+  // class — RunFaultMatrix resolves it against RegisteredDriverletClasses()
+  // (src/workload/deploy_util.h), so new classes join the sweep automatically.
+  std::vector<std::string> driverlets;
   // Recovery ladder configuration for every cell's service.
   uint64_t retry_backoff_us = 100;
   uint64_t quarantine_threshold = 3;

@@ -158,6 +158,103 @@ Result<RecordCampaign> RecordDisplayCampaign(Rpi3Testbed* tb) {
   return campaign;
 }
 
+Result<InteractionTemplate> RecordFtpmRun(Rpi3Testbed* tb, const std::string& name, uint64_t ord,
+                                          uint64_t arg) {
+  tb->ResetDevices();
+  tb->kern_io().ReleaseDma();
+
+  RecordSession sess(&tb->kern_io(), kFtpmEntry, name, tb->ftpm_id());
+  TValue ord_v = sess.ScalarParam("ord", ord);
+  TValue arg_v = sess.ScalarParam("arg", arg);
+  // Request payload sized for the largest ordinal payload (PCR digest);
+  // response sized for the largest response (get-random cap).
+  std::vector<uint8_t> req(kFtpmPcrBytes);
+  FillPattern(&req, ord * 17 + arg);
+  std::vector<uint8_t> rsp(kFtpmMaxRandom);
+  sess.BufferParam("req", req.data(), req.size());
+  sess.BufferParam("rsp", rsp.data(), rsp.size());
+
+  FtpmDriver driver(&sess, tb->ftpm_config());
+  Status s = driver.Execute(ord_v, arg_v, req.data(), rsp.data());
+  if (!Ok(s)) {
+    DLT_LOG(kError) << "ftpm record run " << name << " failed: " << StatusName(s);
+    return s;
+  }
+  return sess.Finish();
+}
+
+Result<InteractionTemplate> RecordCryptoaccRun(Rpi3Testbed* tb, const std::string& name,
+                                               uint64_t op, uint64_t key, uint64_t len) {
+  tb->ResetDevices();
+  tb->kern_io().ReleaseDma();
+
+  RecordSession sess(&tb->kern_io(), kCryptoaccEntry, name, tb->crypto_id());
+  TValue op_v = sess.ScalarParam("op", op);
+  TValue key_v = sess.ScalarParam("key", key);
+  TValue len_v = sess.ScalarParam("len", len);
+  std::vector<uint8_t> buf(len);
+  FillPattern(&buf, key + len);
+  std::vector<uint8_t> out(len < kCaDigestBytes ? kCaDigestBytes : len);
+  sess.BufferParam("buf", buf.data(), buf.size());
+  sess.BufferParam("out", out.data(), out.size());
+
+  CryptoaccDriver driver(&sess, tb->crypto_config());
+  Status s = driver.Transform(op_v, key_v, len_v, buf.data(), buf.size(), out.data());
+  if (!Ok(s)) {
+    DLT_LOG(kError) << "cryptoacc record run " << name << " failed: " << StatusName(s);
+    return s;
+  }
+  return sess.Finish();
+}
+
+Result<RecordCampaign> RecordFtpmCampaign(Rpi3Testbed* tb) {
+  RecordCampaign campaign("ftpm");
+  struct Run {
+    const char* name;
+    uint64_t ord, arg;
+  };
+  const Run kRuns[] = {
+      {"GetRandom32", kFtpmOrdGetRandom, 32},
+      {"GetRandom128", kFtpmOrdGetRandom, 128},  // merges: same transition path
+      {"PcrExtend", kFtpmOrdPcrExtend, 0},
+      {"PcrRead", kFtpmOrdPcrRead, 0},
+      {"Quote", kFtpmOrdQuote, 0x3},
+  };
+  for (const Run& run : kRuns) {
+    DLT_ASSIGN_OR_RETURN(InteractionTemplate t, RecordFtpmRun(tb, run.name, run.ord, run.arg));
+    bool kept = campaign.AddTemplate(std::move(t));
+    if (!kept) {
+      DLT_LOG(kInfo) << "ftpm run " << run.name << " merged (same transition path)";
+    }
+  }
+  return campaign;
+}
+
+Result<RecordCampaign> RecordCryptoaccCampaign(Rpi3Testbed* tb) {
+  RecordCampaign campaign("cryptoacc");
+  struct Run {
+    const char* name;
+    uint64_t op, key, len;
+  };
+  const Run kRuns[] = {
+      {"Enc1", kCaOpEncrypt, 0xc0ffee01, 256},     // 1 ring chunk
+      {"Dec1", kCaOpDecrypt, 0xc0ffee01, 4096},    // merges with Enc1 (same path)
+      {"Enc2", kCaOpEncrypt, 0xc0ffee02, 8192},    // 2 chunks
+      {"Enc3", kCaOpEncrypt, 0xc0ffee03, 12288},   // 3 chunks
+      {"Enc4", kCaOpEncrypt, 0xc0ffee04, 16384},   // 4 chunks
+      {"Digest", kCaOpDigest, 0xd16e5701, 4096},   // single descriptor
+  };
+  for (const Run& run : kRuns) {
+    DLT_ASSIGN_OR_RETURN(InteractionTemplate t,
+                         RecordCryptoaccRun(tb, run.name, run.op, run.key, run.len));
+    bool kept = campaign.AddTemplate(std::move(t));
+    if (!kept) {
+      DLT_LOG(kInfo) << "cryptoacc run " << run.name << " merged (same transition path)";
+    }
+  }
+  return campaign;
+}
+
 Result<RecordCampaign> RecordMmcCampaign(Rpi3Testbed* tb) {
   RecordCampaign campaign("mmc");
   const uint64_t kCounts[] = {1, 8, 32, 128, 256};

@@ -19,6 +19,8 @@ inline constexpr const char* kUsbEntry = "replay_usb";
 inline constexpr const char* kCameraEntry = "replay_camera";
 inline constexpr const char* kDisplayEntry = "replay_display";
 inline constexpr const char* kTouchEntry = "replay_touch";
+inline constexpr const char* kFtpmEntry = "replay_ftpm";
+inline constexpr const char* kCryptoaccEntry = "replay_cryptoacc";
 
 // The developer signing key used throughout examples/tests/benches.
 inline constexpr const char* kDeveloperKey = "driverlet-developer-key-v1";
@@ -33,6 +35,13 @@ Result<RecordCampaign> RecordDisplayCampaign(Rpi3Testbed* tb);
 // Trusted-input driverlet (the other half of trusted UI): wait for and deliver
 // one touch sample.
 Result<RecordCampaign> RecordTouchCampaign(Rpi3Testbed* tb);
+// fTPM driverlet (fourth class): one template per ordinal — get-random with a
+// variable-length response, PCR extend/read, and quote.
+Result<RecordCampaign> RecordFtpmCampaign(Rpi3Testbed* tb);
+// Crypto-accelerator driverlet (fifth class): cipher jobs at 1/2/3/4
+// descriptor-ring chunks (encrypt and decrypt merge — the op is a symbolic
+// descriptor operand) plus a single-descriptor digest.
+Result<RecordCampaign> RecordCryptoaccCampaign(Rpi3Testbed* tb);
 
 // One MMC record run (exposed for targeted tests): records template |name| for
 // the given request and returns the distilled template.
@@ -44,6 +53,10 @@ Result<InteractionTemplate> RecordCameraRun(Rpi3Testbed* tb, const std::string& 
                                             uint64_t frames, uint64_t resolution);
 Result<InteractionTemplate> RecordDisplayRun(Rpi3Testbed* tb, const std::string& name, uint64_t x,
                                              uint64_t y, uint64_t w, uint64_t h);
+Result<InteractionTemplate> RecordFtpmRun(Rpi3Testbed* tb, const std::string& name, uint64_t ord,
+                                          uint64_t arg);
+Result<InteractionTemplate> RecordCryptoaccRun(Rpi3Testbed* tb, const std::string& name,
+                                               uint64_t op, uint64_t key, uint64_t len);
 
 }  // namespace dlt
 

@@ -19,6 +19,9 @@ Rpi3Testbed::Rpi3Testbed(const TestbedOptions& opts) {
                                                  &machine_.irq(), &lat, kDisplayIrq);
   touch_ = std::make_unique<TouchController>(&machine_.clock(), &machine_.irq(), kTouchIrq);
   uart_ = std::make_unique<UartController>(&machine_.clock(), &machine_.irq(), kUartIrq);
+  ftpm_ = std::make_unique<FtpmDevice>(&machine_.clock(), &machine_.irq(), &lat, kFtpmIrq);
+  cryptoacc_ = std::make_unique<CryptoaccDevice>(&machine_.mem(), &machine_.clock(),
+                                                 &machine_.irq(), &lat, kCryptoIrq);
 
   mmc_id_ = *machine_.AttachDevice(kMmcBase, kMmcSize, mmc_.get());
   usb_id_ = *machine_.AttachDevice(kUsbBase, kUsbSize, usb_.get());
@@ -26,6 +29,8 @@ Rpi3Testbed::Rpi3Testbed(const TestbedOptions& opts) {
   display_id_ = *machine_.AttachDevice(kDisplayBase, kDisplaySize, display_.get());
   touch_id_ = *machine_.AttachDevice(kTouchBase, kTouchSize, touch_.get());
   uart_id_ = *machine_.AttachDevice(kUartBase, kUartSize, uart_.get());
+  ftpm_id_ = *machine_.AttachDevice(kFtpmBase, kFtpmSize, ftpm_.get());
+  crypto_id_ = *machine_.AttachDevice(kCryptoBase, kCryptoSize, cryptoacc_.get());
   machine_.dma().RegisterDataPort(kMmcBase + kSdData, mmc_.get());
 
   kern_io_ = std::make_unique<PassthroughIo>(&machine_, &kern_pool_, World::kNormal);
@@ -61,11 +66,21 @@ Rpi3Testbed::Rpi3Testbed(const TestbedOptions& opts) {
       .touch_device = touch_id_,
       .touch_irq = kTouchIrq,
   };
+  ftpm_cfg_ = FtpmDriver::Config{
+      .ftpm_device = ftpm_id_,
+      .ftpm_irq = kFtpmIrq,
+  };
+  crypto_cfg_ = CryptoaccDriver::Config{
+      .crypto_device = crypto_id_,
+      .crypto_irq = kCryptoIrq,
+  };
   mmc_driver_ = std::make_unique<BcmSdhostDriver>(kern_io_.get(), mmc_cfg_);
   usb_driver_ = std::make_unique<Dwc2StorageDriver>(kern_io_.get(), usb_cfg_);
   cam_driver_ = std::make_unique<VchiqCameraDriver>(kern_io_.get(), cam_cfg_);
   display_driver_ = std::make_unique<DsiDisplayDriver>(kern_io_.get(), display_cfg_);
   touch_driver_ = std::make_unique<TouchDriver>(kern_io_.get(), touch_cfg_);
+  ftpm_driver_ = std::make_unique<FtpmDriver>(kern_io_.get(), ftpm_cfg_);
+  crypto_driver_ = std::make_unique<CryptoaccDriver>(kern_io_.get(), crypto_cfg_);
 
   if (opts.probe_drivers && !opts.secure_io) {
     Status s = mmc_driver_->Probe();
@@ -91,6 +106,8 @@ Rpi3Testbed::Rpi3Testbed(const TestbedOptions& opts) {
     (void)machine_.AssignToSecureWorld(display_id_);
     (void)machine_.AssignToSecureWorld(touch_id_);
     (void)machine_.AssignToSecureWorld(uart_id_);
+    (void)machine_.AssignToSecureWorld(ftpm_id_);
+    (void)machine_.AssignToSecureWorld(crypto_id_);
     (void)machine_.AssignToSecureWorld(dma_id());
     (void)tee_->MapDevice(mmc_id_);
     (void)tee_->MapDevice(usb_id_);
@@ -98,6 +115,8 @@ Rpi3Testbed::Rpi3Testbed(const TestbedOptions& opts) {
     (void)tee_->MapDevice(display_id_);
     (void)tee_->MapDevice(touch_id_);
     (void)tee_->MapDevice(uart_id_);
+    (void)tee_->MapDevice(ftpm_id_);
+    (void)tee_->MapDevice(crypto_id_);
     (void)tee_->MapDevice(dma_id());
   }
 }
@@ -109,6 +128,8 @@ void Rpi3Testbed::ResetDevices() {
   display_->SoftReset();
   touch_->SoftReset();
   uart_->SoftReset();
+  ftpm_->SoftReset();
+  cryptoacc_->SoftReset();
 }
 
 }  // namespace dlt

@@ -20,7 +20,11 @@
 #include "src/dev/usb/dwc2_controller.h"
 #include "src/dev/usb/usb_mass_storage.h"
 #include "src/dev/vc4/vc4_firmware.h"
+#include "src/dev/ftpm/ftpm_device.h"
+#include "src/dev/cryptoacc/cryptoacc_device.h"
 #include "src/drv/bcm_sdhost_driver.h"
+#include "src/drv/ftpm_driver.h"
+#include "src/drv/cryptoacc_driver.h"
 #include "src/drv/dsi_display_driver.h"
 #include "src/drv/touch_driver.h"
 #include "src/drv/dwc2_storage_driver.h"
@@ -58,6 +62,8 @@ class Rpi3Testbed {
   uint16_t display_id() const { return display_id_; }
   uint16_t touch_id() const { return touch_id_; }
   uint16_t uart_id() const { return uart_id_; }
+  uint16_t ftpm_id() const { return ftpm_id_; }
+  uint16_t crypto_id() const { return crypto_id_; }
 
   MmcController& mmc() { return *mmc_; }
   SdCard& sd_card() { return sd_card_; }
@@ -69,12 +75,16 @@ class Rpi3Testbed {
   DisplayController& display() { return *display_; }
   TouchController& touch() { return *touch_; }
   UartController& uart() { return *uart_; }
+  FtpmDevice& ftpm() { return *ftpm_; }
+  CryptoaccDevice& cryptoacc() { return *cryptoacc_; }
 
   BcmSdhostDriver& mmc_driver() { return *mmc_driver_; }
   Dwc2StorageDriver& usb_driver() { return *usb_driver_; }
   VchiqCameraDriver& cam_driver() { return *cam_driver_; }
   DsiDisplayDriver& display_driver() { return *display_driver_; }
   TouchDriver& touch_driver() { return *touch_driver_; }
+  FtpmDriver& ftpm_driver() { return *ftpm_driver_; }
+  CryptoaccDriver& crypto_driver() { return *crypto_driver_; }
 
   // Driver configs, for constructing per-record-run driver instances that
   // route through a RecordSession instead of the kernel io.
@@ -83,6 +93,8 @@ class Rpi3Testbed {
   VchiqCameraDriver::Config cam_config() const { return cam_cfg_; }
   DsiDisplayDriver::Config display_config() const { return display_cfg_; }
   TouchDriver::Config touch_config() const { return touch_cfg_; }
+  FtpmDriver::Config ftpm_config() const { return ftpm_cfg_; }
+  CryptoaccDriver::Config crypto_config() const { return crypto_cfg_; }
 
   // Returns every IO device (not the DMA engine) to the post-init clean state.
   void ResetDevices();
@@ -99,12 +111,16 @@ class Rpi3Testbed {
   std::unique_ptr<DisplayController> display_;
   std::unique_ptr<TouchController> touch_;
   std::unique_ptr<UartController> uart_;
+  std::unique_ptr<FtpmDevice> ftpm_;
+  std::unique_ptr<CryptoaccDevice> cryptoacc_;
   uint16_t mmc_id_ = 0;
   uint16_t uart_id_ = 0;
   uint16_t display_id_ = 0;
   uint16_t touch_id_ = 0;
   uint16_t usb_id_ = 0;
   uint16_t vchiq_id_ = 0;
+  uint16_t ftpm_id_ = 0;
+  uint16_t crypto_id_ = 0;
 
   CmaPool kern_pool_{kKernPoolBase, kKernPoolSize};
   std::unique_ptr<PassthroughIo> kern_io_;
@@ -115,11 +131,15 @@ class Rpi3Testbed {
   VchiqCameraDriver::Config cam_cfg_;
   DsiDisplayDriver::Config display_cfg_;
   TouchDriver::Config touch_cfg_;
+  FtpmDriver::Config ftpm_cfg_;
+  CryptoaccDriver::Config crypto_cfg_;
   std::unique_ptr<BcmSdhostDriver> mmc_driver_;
   std::unique_ptr<Dwc2StorageDriver> usb_driver_;
   std::unique_ptr<VchiqCameraDriver> cam_driver_;
   std::unique_ptr<DsiDisplayDriver> display_driver_;
   std::unique_ptr<TouchDriver> touch_driver_;
+  std::unique_ptr<FtpmDriver> ftpm_driver_;
+  std::unique_ptr<CryptoaccDriver> crypto_driver_;
 };
 
 }  // namespace dlt

@@ -92,7 +92,7 @@ TEST(BoundaryFuzzTest, CheckedInCorpusReplaysClean) {
     EXPECT_FALSE(r.features.empty());
     ++seen;
   }
-  EXPECT_GE(seen, 3);  // one lifecycle entry per driverlet class
+  EXPECT_GE(seen, 5);  // one lifecycle entry per registered driverlet class
 }
 
 TEST(BoundaryFuzzTest, BuiltinCorpusReplaysCleanAndDeterministically) {

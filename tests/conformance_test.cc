@@ -119,6 +119,30 @@ TEST(GenDeviceTest, DoorbellRaisesAfterDelayAckClearsResetCancels) {
   EXPECT_FALSE(m.irq().Pending(dev.irq_line()));
 }
 
+TEST(GenDeviceTest, DoorbellSetsPublishCompletionStateAfterDelay) {
+  // The descriptor-ring idiom: a consumer-index register stays at its reset
+  // value until the doorbell's completion fires, then jumps to the scripted
+  // value. SoftReset rewinds it, so every replay attempt re-earns completion.
+  Machine m;
+  GenDevice dev(&m.clock(), &m.irq());
+  GenScript s;
+  s.irq_delay_us = 40;
+  s.initial_regs[0x20] = 0;
+  s.doorbell_sets[0x20] = 3;
+  dev.Configure(s);
+
+  EXPECT_EQ(dev.MmioRead32(0x20), 0u);
+  dev.MmioWrite32(GenDevice::kDoorbellOff, 1);
+  m.clock().Advance(39);
+  EXPECT_EQ(dev.MmioRead32(0x20), 0u);  // not complete yet
+  m.clock().Advance(1);
+  EXPECT_EQ(dev.MmioRead32(0x20), 3u);  // consumer index caught up
+  EXPECT_TRUE(m.irq().Pending(dev.irq_line()));
+
+  dev.SoftReset();
+  EXPECT_EQ(dev.MmioRead32(0x20), 0u);  // completion state rewound
+}
+
 // ---------------------------------------------------------------------------
 // Fixed-seed corpus: every invariant over 50 seeds
 // ---------------------------------------------------------------------------
@@ -133,6 +157,38 @@ TEST(ConformanceTest, FixedSeedCorpusConforms) {
     EXPECT_EQ(out.invariants_run, static_cast<int>(AllInvariants().size()));
     EXPECT_GT(out.events_executed, 0u);
   }
+}
+
+TEST(ConformanceTest, NewShapesAppearInSweepAndConform) {
+  // The fTPM-pipe shape (a kPioIn whose length is an expression over a scalar
+  // parameter) and the crypto-queue shape (a doorbell-published consumer
+  // index, i.e. a non-empty doorbell_sets script) must both occur within a
+  // modest seed sweep — and the first case carrying each shape must pass every
+  // invariant, so the new vocabulary is pinned rather than statistically
+  // covered.
+  bool saw_varlen_pio = false;
+  bool saw_ring = false;
+  for (uint64_t seed = 1; seed <= 120 && !(saw_varlen_pio && saw_ring); ++seed) {
+    GeneratedCase g = GenerateCase(seed);
+    bool varlen = false;
+    for (const TemplateEvent& e : g.tpl.events) {
+      if (e.kind == EventKind::kPioIn && e.value && !e.value->is_const()) {
+        varlen = true;
+      }
+    }
+    bool ring = !g.script.doorbell_sets.empty();
+    if ((varlen && !saw_varlen_pio) || (ring && !saw_ring)) {
+      SCOPED_TRACE("seed " + std::to_string(seed));
+      ConformanceOutcome out = RunConformance(g);
+      for (const ConformanceFailure& f : out.failures) {
+        ADD_FAILURE() << f.invariant << ": " << f.detail;
+      }
+    }
+    saw_varlen_pio |= varlen;
+    saw_ring |= ring;
+  }
+  EXPECT_TRUE(saw_varlen_pio);
+  EXPECT_TRUE(saw_ring);
 }
 
 TEST(ConformanceTest, DeepExpressionsFallBackToInterpreterAndStillConform) {
@@ -214,6 +270,7 @@ TEST(ReproTest, RoundTripPreservesTheWholeCase) {
   EXPECT_EQ(r.c.script.initial_regs, g.script.initial_regs);
   EXPECT_EQ(r.c.script.read_queues, g.script.read_queues);
   EXPECT_EQ(r.c.script.irq_delay_us, g.script.irq_delay_us);
+  EXPECT_EQ(r.c.script.doorbell_sets, g.script.doorbell_sets);
   EXPECT_EQ(TplText(r.c.tpl), TplText(g.tpl));
   // Serialization is a fixpoint: re-render matches exactly.
   EXPECT_EQ(ReproToString(r.c, r.invariant), text);

@@ -1,8 +1,10 @@
 // driverletc: command-line driverlet toolchain.
 //
-//   driverletc record <mmc|usb|camera|display|touch> -o pkg.dlt [--binary]
+//   driverletc record <mmc|usb|camera|ftpm|cryptoacc|display|touch> -o pkg.dlt [--binary]
 //       Runs the device's record campaign on a simulated developer machine and
-//       writes the sealed (compressed + signed) driverlet package.
+//       writes the sealed (compressed + signed) driverlet package. The first
+//       five names come from the registered-class table
+//       (RegisteredDriverletClasses() in src/workload/deploy_util.h).
 //   driverletc inspect <pkg.dlt>
 //       Verifies the signature and prints the template inventory + coverage.
 //   driverletc verify <pkg.dlt>
@@ -85,7 +87,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: driverletc record <mmc|usb|camera|display|touch> -o <pkg> [--binary]\n"
+               "usage: driverletc record <mmc|usb|camera|ftpm|cryptoacc|display|touch>"
+               " -o <pkg> [--binary]\n"
                "       driverletc inspect <pkg>\n"
                "       driverletc verify <pkg>\n"
                "       driverletc smoke <pkg>\n"
@@ -134,10 +137,11 @@ int CmdRecord(int argc, char** argv) {
   }
   std::printf("recording the %s campaign on a simulated developer machine...\n", device);
   Rpi3Testbed dev{TestbedOptions{}};
+  // Registered classes come from the class table; display/touch are
+  // recordable peripherals that are not part of the registered sweep list.
+  const DriverletClassSpec* spec = FindDriverletClass(device);
   Result<RecordCampaign> campaign =
-      std::strcmp(device, "mmc") == 0       ? RecordMmcCampaign(&dev)
-      : std::strcmp(device, "usb") == 0     ? RecordUsbCampaign(&dev)
-      : std::strcmp(device, "camera") == 0  ? RecordCameraCampaign(&dev)
+      spec != nullptr                       ? spec->record(&dev)
       : std::strcmp(device, "display") == 0 ? RecordDisplayCampaign(&dev)
       : std::strcmp(device, "touch") == 0   ? RecordTouchCampaign(&dev)
                                             : Result<RecordCampaign>(Status::kInvalidArg);
@@ -232,25 +236,14 @@ int ReplayOnce(const char* path, bool print_caches = false) {
 
   ReplayArgs args;
   std::vector<uint8_t> buf;
-  std::vector<uint8_t> img_size(4, 0);
-  if (entry == kMmcEntry || entry == kUsbEntry) {
-    buf.assign(8 * 512, 0x5a);
-    args.scalars = {{"rw", kMmcRwWrite}, {"blkcnt", 8}, {"blkid", 2048}, {"flag", 0}};
-    args.buffers["buf"] = BufferView{buf.data(), buf.size()};
-  } else if (entry == kCameraEntry) {
-    buf.assign(Vc4Firmware::FrameBytes(1440) + 4096, 0);
-    args.scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", buf.size()}};
-    args.buffers["buf"] = BufferView{buf.data(), buf.size()};
-    args.buffers["img_size"] = BufferView{img_size.data(), img_size.size()};
-  } else if (entry == kDisplayEntry) {
-    buf.assign(64 * 64 * 4, 0x33);
-    args.scalars = {{"x", 0}, {"y", 0}, {"w", 64}, {"h", 64}};
-    args.buffers["buf"] = BufferView{buf.data(), buf.size()};
-  } else if (entry == kTouchEntry) {
+  std::vector<uint8_t> aux;
+  if (entry == kTouchEntry) {
+    // Touch is the one entry the shared table cannot drive: its covered
+    // invoke consumes an injected input event.
     machine.touch().InjectTouch(100, 100, 1'000);
     buf.assign(4, 0);
     args.buffers["evt"] = BufferView{buf.data(), buf.size()};
-  } else {
+  } else if (!CoveredArgsFor(entry, 0, &buf, &aux, &args)) {
     std::fprintf(stderr, "unknown entry %s\n", entry.c_str());
     return 1;
   }
@@ -401,6 +394,7 @@ int CmdFaultSweep(int argc, char** argv) {
   FaultMatrixConfig cfg;
   cfg.seeds = seeds.List();
   cfg.ops_per_cell = ops;
+  cfg.driverlets = RegisteredDriverletClassNames();
 
   std::printf("fault sweep: %d seeds x 3 planes x %zu driverlets, %d ops/cell\n",
               seeds.count, cfg.driverlets.size(), ops);
@@ -502,33 +496,10 @@ int CmdCheck(int argc, char** argv) {
 // One invoke's worth of covered arguments for a driverlet entry; buffers live
 // in |buf|/|aux| and must outlive the completion. Returns false for entries
 // the fleet driver cannot synthesize load for (touch needs injected events).
+// Delegates to the shared registry-backed table in deploy_util.h.
 bool FleetArgsFor(const std::string& entry, int round, std::vector<uint8_t>* buf,
                   std::vector<uint8_t>* aux, ReplayArgs* args) {
-  *args = ReplayArgs{};
-  if (entry == kMmcEntry || entry == kUsbEntry) {
-    buf->assign(8 * 512, static_cast<uint8_t>(0x40 + round));
-    args->scalars = {{"rw", kMmcRwWrite},
-                     {"blkcnt", 8},
-                     {"blkid", 2048 + static_cast<uint64_t>(round % 8) * 8},
-                     {"flag", 0}};
-    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
-    return true;
-  }
-  if (entry == kCameraEntry) {
-    buf->assign(Vc4Firmware::FrameBytes(1440) + 4096, 0);
-    aux->assign(4, 0);
-    args->scalars = {{"frame", 1}, {"resolution", 720}, {"buf_size", buf->size()}};
-    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
-    args->buffers["img_size"] = BufferView{aux->data(), aux->size()};
-    return true;
-  }
-  if (entry == kDisplayEntry) {
-    buf->assign(64 * 64 * 4, 0x33);
-    args->scalars = {{"x", 0}, {"y", 0}, {"w", 64}, {"h", 64}};
-    args->buffers["buf"] = BufferView{buf->data(), buf->size()};
-    return true;
-  }
-  return false;
+  return CoveredArgsFor(entry, round, buf, aux, args);
 }
 
 int CmdFleet(int argc, char** argv) {
